@@ -1,0 +1,144 @@
+"""Ablations of the paper's design choices.
+
+DESIGN.md calls out the solver's moving parts; this bench measures what
+each buys on a paper benchmark:
+
+* **pseudo aggressors** (Section 3.1) — without them the solver only sees
+  primary aggressors of each net and misses everything propagated from
+  the fanin cone;
+* **higher-order aggressors** (Section 2 / step 3 of Fig. 9) — without
+  them aggressor-of-aggressor window widening is invisible;
+* **dominance beam cap** — the engineering knob on top of the paper's
+  exact pruning: how much quality does a tight beam trade for speed;
+* **grid resolution** — envelope sampling density vs result stability;
+* **driver model** — linear Thevenin vs the saturating non-linear
+  extension (the paper's future work): how much pessimism the linear
+  framework carries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import design, solver_config
+from repro.core import TopKConfig, TopKEngine, top_k_addition_set
+from repro.noise.nonlinear import compare_models
+
+BENCH = "i1"
+K = 5
+
+
+def _delay_with(config: TopKConfig) -> float:
+    result = top_k_addition_set(design(BENCH), K, config)
+    assert result.delay is not None
+    return result.delay
+
+
+class TestDeviceAblations:
+    def test_pseudo_aggressors_ablation(self, benchmark):
+        base_cfg = solver_config()
+        full = _delay_with(base_cfg)
+        without = benchmark.pedantic(
+            _delay_with,
+            args=(TopKConfig(
+                max_sets_per_cardinality=base_cfg.max_sets_per_cardinality,
+                use_pseudo=False,
+            ),),
+            rounds=1,
+            iterations=1,
+        )
+        # Pseudo aggressors never lose quality; on fanin-noise-dominated
+        # designs they win outright.
+        assert full >= without - 1e-6
+        benchmark.extra_info["delay_full_ns"] = round(full, 4)
+        benchmark.extra_info["delay_no_pseudo_ns"] = round(without, 4)
+
+    def test_higher_order_ablation(self, benchmark):
+        base_cfg = solver_config()
+        full = _delay_with(base_cfg)
+        without = benchmark.pedantic(
+            _delay_with,
+            args=(TopKConfig(
+                max_sets_per_cardinality=base_cfg.max_sets_per_cardinality,
+                use_higher_order=False,
+            ),),
+            rounds=1,
+            iterations=1,
+        )
+        assert full >= without - 1e-6
+        benchmark.extra_info["delay_full_ns"] = round(full, 4)
+        benchmark.extra_info["delay_no_higher_order_ns"] = round(without, 4)
+
+    def test_beam_cap_ablation(self, benchmark):
+        wide = _delay_with(TopKConfig(max_sets_per_cardinality=24))
+        narrow = benchmark.pedantic(
+            _delay_with,
+            args=(TopKConfig(max_sets_per_cardinality=2),),
+            rounds=1,
+            iterations=1,
+        )
+        # A tighter beam may lose a little quality but never crashes, and
+        # stays within a modest fraction of the wide-beam answer.
+        nominal = top_k_addition_set(
+            design(BENCH), 0, TopKConfig()
+        ).nominal_delay
+        wide_noise = wide - nominal
+        narrow_noise = narrow - nominal
+        if wide_noise > 1e-6:
+            assert narrow_noise >= 0.5 * wide_noise
+        benchmark.extra_info["delay_beam24_ns"] = round(wide, 4)
+        benchmark.extra_info["delay_beam2_ns"] = round(narrow, 4)
+
+    def test_grid_resolution_stability(self, benchmark):
+        coarse = benchmark.pedantic(
+            _delay_with,
+            args=(TopKConfig(grid_points=96),),
+            rounds=1,
+            iterations=1,
+        )
+        fine = _delay_with(TopKConfig(grid_points=512))
+        # Results must agree to well under the total noise budget.
+        assert coarse == pytest.approx(fine, abs=0.02)
+        benchmark.extra_info["delay_96pts_ns"] = round(coarse, 4)
+        benchmark.extra_info["delay_512pts_ns"] = round(fine, 4)
+
+
+class TestSolverScaling:
+    def test_dominance_prunes_most_candidates(self, benchmark):
+        def run():
+            engine = TopKEngine(design(BENCH), "addition", solver_config())
+            engine.solve(K)
+            return engine.stats
+
+        stats = benchmark.pedantic(run, rounds=1, iterations=1)
+        # The paper: "a large number of noise envelopes dominate each
+        # other within the dominance interval".
+        assert stats.dominated > 0.3 * stats.candidates
+        benchmark.extra_info["candidates"] = stats.candidates
+        benchmark.extra_info["dominated"] = stats.dominated
+        benchmark.extra_info["pseudo_atoms"] = stats.pseudo_atoms
+        benchmark.extra_info["higher_order_atoms"] = stats.higher_order_atoms
+
+
+class TestDriverModel:
+    def test_linear_vs_nonlinear_pessimism(self, benchmark):
+        d = design(BENCH)
+        victims = [
+            net for net in d.netlist.nets
+            if len(d.coupling.aggressors_of(net)) >= 3
+        ][:10]
+        assert victims
+
+        def sweep():
+            return [compare_models(d, v) for v in victims]
+
+        comparisons = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Both models see noise; the saturating driver's answer is the
+        # same order of magnitude (the linear framework is a bound, not a
+        # different physics).
+        lin = sum(c.linear_ns for c in comparisons)
+        nonlin = sum(c.nonlinear_ns for c in comparisons)
+        assert lin >= 0.0 and nonlin >= 0.0
+        benchmark.extra_info["sum_linear_ns"] = round(lin, 4)
+        benchmark.extra_info["sum_nonlinear_ns"] = round(nonlin, 4)
+        benchmark.extra_info["victims"] = len(comparisons)

@@ -1,0 +1,66 @@
+"""Figure 10 — convergence of addition vs elimination delay with k.
+
+The paper plots circuit delay against k (1..75) for circuits i1 and i10:
+the addition curve starts at the noiseless delay and rises; the
+elimination curve starts at the all-aggressor delay and falls; the two
+converge toward each other, with most movement below k ~ 20.
+
+Quick mode runs i1 with k up to 20; REPRO_BENCH_FULL=1 adds i10 and
+extends the schedule toward the paper's k = 75.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    FULL,
+    addition_series,
+    baseline_delays,
+    elimination_series,
+)
+
+FIG10_CIRCUITS = ("i1", "i10") if FULL else ("i1",)
+FIG10_KS = (1, 5, 10, 20, 30, 50, 75) if FULL else (1, 3, 6, 10, 15, 20)
+
+
+@pytest.mark.parametrize("name", FIG10_CIRCUITS)
+def test_figure10_convergence(benchmark, name):
+    def both_series():
+        return (
+            addition_series(name, FIG10_KS),
+            elimination_series(name, FIG10_KS),
+        )
+
+    add, elim = benchmark.pedantic(both_series, rounds=1, iterations=1)
+    base = baseline_delays(name)
+
+    add_delays = [p.delay for p in add]
+    elim_delays = [p.delay for p in elim]
+
+    # Opposite anchors.
+    assert add_delays[0] >= base["none"] - 1e-9
+    assert elim_delays[0] <= base["all"] + 1e-9
+    # Opposite monotone trends.
+    for a, b in zip(add_delays, add_delays[1:]):
+        assert b >= a - 1e-6
+    for a, b in zip(elim_delays, elim_delays[1:]):
+        assert b <= a + 1e-6
+    # Convergence: the curve gap shrinks with k.
+    gap_first = elim_delays[0] - add_delays[0]
+    gap_last = elim_delays[-1] - add_delays[-1]
+    assert gap_last < gap_first
+    # Diminishing returns: the first half of the k schedule moves the
+    # addition curve at least as much as the second half.
+    mid = len(FIG10_KS) // 2
+    first_half = add_delays[mid] - add_delays[0]
+    second_half = add_delays[-1] - add_delays[mid]
+    assert first_half >= second_half - 1e-6
+
+    benchmark.extra_info["ks"] = list(FIG10_KS)
+    benchmark.extra_info["addition_ns"] = [round(d, 4) for d in add_delays]
+    benchmark.extra_info["elimination_ns"] = [
+        round(d, 4) for d in elim_delays
+    ]
+    benchmark.extra_info["noiseless_ns"] = round(base["none"], 4)
+    benchmark.extra_info["all_aggressor_ns"] = round(base["all"], 4)

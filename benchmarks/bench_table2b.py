@@ -1,0 +1,63 @@
+"""Table 2(b) — top-k *elimination* sweeps: circuit delay and runtime vs k.
+
+Dual of Table 2(a): the paper reports the circuit delay after fixing
+(removing) the top-k elimination set, k = 5..50.  Reproduced shape: delays
+fall monotonically from the all-aggressor ceiling toward the noiseless
+floor, most of the improvement concentrated in the first few fixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import baseline_delays, circuits, elimination_series, ks
+
+
+@pytest.mark.parametrize("name", circuits())
+def test_elimination_sweep(benchmark, name):
+    k_values = ks()
+
+    points = benchmark.pedantic(
+        elimination_series, args=(name, k_values), rounds=1, iterations=1
+    )
+    base = baseline_delays(name)
+
+    delays = [p.delay for p in points]
+    # Monotone non-increasing in k.
+    for a, b in zip(delays, delays[1:]):
+        assert b <= a + 1e-6
+    for d in delays:
+        assert base["none"] - 1e-9 <= d <= base["all"] + 1e-9
+    # Fixing the top sets buys a meaningful share of the total noise.
+    total_noise = base["all"] - base["none"]
+    if total_noise > 1e-6:
+        saved = base["all"] - delays[-1]
+        assert saved / total_noise > 0.1
+
+    benchmark.extra_info["ks"] = list(k_values)
+    benchmark.extra_info["delays_ns"] = [round(d, 4) for d in delays]
+    benchmark.extra_info["runtimes_s"] = [
+        round(p.runtime_s, 2) for p in points
+    ]
+    benchmark.extra_info["noiseless_ns"] = round(base["none"], 4)
+    benchmark.extra_info["all_aggressor_ns"] = round(base["all"], 4)
+
+
+def test_first_fixes_dominate(benchmark):
+    """Diminishing returns: the first k buys proportionally more than the
+    last k (visible in the paper's Table 2(b) deltas)."""
+    name = circuits()[0]
+    k_values = list(ks())
+    if len(k_values) < 3:
+        pytest.skip("need at least 3 sweep points")
+
+    points = benchmark.pedantic(
+        elimination_series, args=(name, k_values), rounds=1, iterations=1
+    )
+    base = baseline_delays(name)
+    first_gain = base["all"] - points[0].delay
+    total_gain = base["all"] - points[-1].delay
+    if total_gain > 1e-6:
+        per_k_first = first_gain / k_values[0]
+        per_k_overall = total_gain / k_values[-1]
+        assert per_k_first >= per_k_overall - 1e-9

@@ -1,0 +1,111 @@
+"""Shared infrastructure for the benchmark suite.
+
+The paper's evaluation has four artifacts: Table 1 (brute-force
+validation), Table 2(a) (addition-set delay/runtime sweeps), Table 2(b)
+(elimination-set sweeps), and Figure 10 (delay-vs-k convergence).  Each
+``bench_*.py`` module regenerates one of them; ``harness.py`` prints them
+in the paper's row/column format.
+
+Pure Python is orders of magnitude slower than the authors' C++, so the
+default ("quick") configuration exercises the smaller circuits and a
+reduced k schedule; set ``REPRO_BENCH_FULL=1`` to run all ten circuits
+with the paper's full k schedule (expect on the order of an hour).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+from repro.circuit.design import Design
+from repro.circuit.generator import make_paper_benchmark
+from repro.core import (
+    SweepPoint,
+    TopKConfig,
+    top_k_addition_sweep,
+    top_k_elimination_sweep,
+)
+from repro.noise.analysis import analyze_noise
+from repro.timing.sta import run_sta
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: The paper sweeps k over {1..50} reporting these columns.
+PAPER_KS: Sequence[int] = (1, 5, 10, 15, 20, 30, 40, 50)
+QUICK_KS: Sequence[int] = (1, 5, 10)
+
+#: Circuits per mode.  The quick set keeps total wall-clock in minutes.
+PAPER_CIRCUITS = tuple(f"i{n}" for n in range(1, 11))
+QUICK_CIRCUITS = ("i1", "i2", "i3")
+
+
+def circuits() -> Sequence[str]:
+    return PAPER_CIRCUITS if FULL else QUICK_CIRCUITS
+
+
+def ks() -> Sequence[int]:
+    return PAPER_KS if FULL else QUICK_KS
+
+
+def solver_config() -> TopKConfig:
+    """Solver knobs used throughout the benchmark suite."""
+    return TopKConfig(max_sets_per_cardinality=12 if not FULL else 16)
+
+
+@lru_cache(maxsize=None)
+def design(name: str) -> Design:
+    return make_paper_benchmark(name)
+
+
+@lru_cache(maxsize=None)
+def baseline_delays(name: str) -> Dict[str, float]:
+    """Noiseless and all-aggressor circuit delays of a benchmark."""
+    d = design(name)
+    return {
+        "none": run_sta(d.netlist).circuit_delay(),
+        "all": analyze_noise(d).circuit_delay(),
+    }
+
+
+def addition_series(name: str, k_values: Sequence[int]) -> List[SweepPoint]:
+    return top_k_addition_sweep(design(name), k_values, solver_config())
+
+
+def elimination_series(name: str, k_values: Sequence[int]) -> List[SweepPoint]:
+    return top_k_elimination_sweep(design(name), k_values, solver_config())
+
+
+def format_table2_row(
+    name: str,
+    points: List[SweepPoint],
+    mode: str,
+) -> str:
+    """One benchmark row in the layout of the paper's Table 2."""
+    d = design(name)
+    stats = d.stats()
+    base = baseline_delays(name)
+    anchor = base["none"] if mode == "addition" else base["all"]
+    cells = [
+        f"{name:>4}",
+        f"{stats.gates:>6}",
+        f"{stats.nets:>6}",
+        f"{stats.coupling_caps:>8}",
+        f"{anchor:>7.3f}",
+    ]
+    cells.extend(f"{p.delay:>7.3f}" for p in points)
+    cells.append("|")
+    cells.extend(f"{p.runtime_s:>7.2f}" for p in points)
+    return " ".join(cells)
+
+
+def table2_header(mode: str, k_values: Sequence[int]) -> str:
+    anchor = "no agg." if mode == "addition" else "all agg."
+    head = (
+        f"{'ckt':>4} {'gates':>6} {'nets':>6} {'coupcap':>8} "
+        f"{anchor:>7} "
+        + " ".join(f"k={k:<5}" for k in k_values)
+        + " | "
+        + " ".join(f"t(k={k})" for k in k_values)
+    )
+    return head + "\n" + "-" * len(head)

@@ -1,0 +1,163 @@
+"""Print the paper's evaluation artifacts from the reproduction.
+
+Usage::
+
+    python benchmarks/harness.py table1
+    python benchmarks/harness.py table2a
+    python benchmarks/harness.py table2b
+    python benchmarks/harness.py figure10
+    python benchmarks/harness.py all            # everything above
+    REPRO_BENCH_FULL=1 python benchmarks/harness.py all   # full schedule
+
+Each command prints the measured rows in (approximately) the layout of the
+paper's Table 1 / Table 2 / Figure 10; EXPERIMENTS.md records a captured
+run side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Sequence
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import (  # noqa: E402
+    addition_series,
+    baseline_delays,
+    circuits,
+    elimination_series,
+    format_table2_row,
+    ks,
+    table2_header,
+)
+
+
+def run_table1() -> None:
+    from repro.circuit.generator import random_design
+    from repro.core import (
+        TopKConfig,
+        brute_force_top_k,
+        top_k_elimination_set,
+    )
+
+    print("== Table 1: validation against brute force (elimination) ==")
+    design = random_design("table1", n_gates=24, target_caps=30, seed=1)
+    stats = design.stats()
+    print(
+        f"circuit: {stats.gates} gates, {stats.nets} nets, "
+        f"{stats.coupling_caps} coupling caps  (brute-forceable analog of "
+        f"the paper's smallest benchmark)"
+    )
+    cfg = TopKConfig(max_sets_per_cardinality=None, oracle_rescore_top=8)
+    header = (
+        f"{'k':>2} {'bf delay':>9} {'bf time':>8} "
+        f"{'alg delay':>9} {'alg time':>8} {'speedup':>8} {'match':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    bf_budget = 120.0
+    for k in (1, 2, 3, 4):
+        alg = top_k_elimination_set(design, k, cfg)
+        budget = bf_budget if k <= 3 else 10.0
+        bf = brute_force_top_k(design, k, "elimination", timeout_s=budget)
+        bf_delay = f"{bf.delay:.4f}" if bf.delay is not None else "-"
+        bf_time = (
+            f"{bf.runtime_s:.2f}" if bf.complete else f">{budget:.0f}s!"
+        )
+        if bf.complete and bf.delay is not None:
+            speedup = f"{bf.runtime_s / max(alg.runtime_s, 1e-6):8.1f}"
+            match = (
+                "yes"
+                if abs(alg.delay - bf.delay) <= 2.5e-3 * bf.delay
+                else "NO"
+            )
+        else:
+            speedup, match = "     inf", "n/a"
+        print(
+            f"{k:>2} {bf_delay:>9} {bf_time:>8} "
+            f"{alg.delay:>9.4f} {alg.runtime_s:>8.2f} {speedup} {match:>6}"
+        )
+    print()
+
+
+def run_table2(mode: str) -> None:
+    label = "a" if mode == "addition" else "b"
+    print(f"== Table 2({label}): top-k {mode} set — delay (ns) and runtime (s) ==")
+    k_values = list(ks())
+    print(table2_header(mode, k_values))
+    series = addition_series if mode == "addition" else elimination_series
+    for name in circuits():
+        points = series(name, k_values)
+        print(format_table2_row(name, points, mode))
+    print()
+
+
+def run_figure10() -> None:
+    from bench_figure10 import FIG10_CIRCUITS, FIG10_KS
+
+    print("== Figure 10: addition vs elimination convergence ==")
+    for name in FIG10_CIRCUITS:
+        base = baseline_delays(name)
+        add = addition_series(name, FIG10_KS)
+        elim = elimination_series(name, FIG10_KS)
+        print(
+            f"\n{name}: noiseless {base['none']:.4f} ns, "
+            f"all-aggressor {base['all']:.4f} ns"
+        )
+        print(f"{'k':>4} {'addition':>10} {'elimination':>12}")
+        for k, a, e in zip(FIG10_KS, add, elim):
+            print(f"{k:>4} {a.delay:>10.4f} {e.delay:>12.4f}")
+        _ascii_plot(
+            list(FIG10_KS),
+            [p.delay for p in add],
+            [p.delay for p in elim],
+            base["none"],
+            base["all"],
+        )
+    print()
+
+
+def _ascii_plot(
+    k_values: List[int],
+    add: List[float],
+    elim: List[float],
+    lo: float,
+    hi: float,
+    width: int = 48,
+) -> None:
+    """A terminal rendition of Figure 10: 'A' = addition, 'E' = elimination."""
+    span = max(hi - lo, 1e-12)
+    print(f"\n     {lo:.3f} ns {' ' * (width - 16)} {hi:.3f} ns")
+    for k, a, e in zip(k_values, add, elim):
+        row = [" "] * (width + 1)
+        pos_a = int(round((a - lo) / span * width))
+        pos_e = int(round((e - lo) / span * width))
+        pos_a = min(max(pos_a, 0), width)
+        pos_e = min(max(pos_e, 0), width)
+        row[pos_a] = "A"
+        row[pos_e] = "X" if pos_e == pos_a else "E"
+        print(f"k={k:<3} |{''.join(row)}|")
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        choices=("table1", "table2a", "table2b", "figure10", "all"),
+    )
+    args = parser.parse_args(argv)
+    if args.artifact in ("table1", "all"):
+        run_table1()
+    if args.artifact in ("table2a", "all"):
+        run_table2("addition")
+    if args.artifact in ("table2b", "all"):
+        run_table2("elimination")
+    if args.artifact in ("figure10", "all"):
+        run_figure10()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

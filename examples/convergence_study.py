@@ -1,0 +1,86 @@
+"""Figure-10 style convergence study with CSV export.
+
+Sweeps k for both top-k flavors on a chosen benchmark, prints the two
+delay series with an ASCII rendition of the paper's Figure 10, and writes
+a CSV (k, addition_ns, elimination_ns, addition_runtime_s,
+elimination_runtime_s) for external plotting.
+
+Run::
+
+    python examples/convergence_study.py --benchmark i1 --kmax 20 \
+        --csv figure10_i1.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+
+from repro import circuit_delay, make_paper_benchmark
+from repro.core import (
+    TopKConfig,
+    top_k_addition_sweep,
+    top_k_elimination_sweep,
+)
+
+
+def k_schedule(kmax: int) -> list:
+    ks = [1]
+    step = max(1, kmax // 8)
+    ks.extend(range(step, kmax + 1, step))
+    return sorted(set(ks))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="i1")
+    parser.add_argument("--kmax", type=int, default=20)
+    parser.add_argument("--csv", default=None, help="output CSV path")
+    args = parser.parse_args()
+
+    design = make_paper_benchmark(args.benchmark)
+    floor = circuit_delay(design, "none")
+    ceiling = circuit_delay(design, "all")
+    ks = k_schedule(args.kmax)
+    config = TopKConfig()
+
+    print(f"{design.name}: floor {floor:.4f} ns, ceiling {ceiling:.4f} ns")
+    add = top_k_addition_sweep(design, ks, config)
+    elim = top_k_elimination_sweep(design, ks, config)
+
+    print(f"\n{'k':>4} {'addition':>10} {'elimination':>12}")
+    for a, e in zip(add, elim):
+        print(f"{a.k:>4} {a.delay:>10.4f} {e.delay:>12.4f}")
+
+    width = 46
+    span = max(ceiling - floor, 1e-12)
+    print(f"\n      {floor:.3f} ns {'.' * (width - 18)} {ceiling:.3f} ns")
+    for a, e in zip(add, elim):
+        row = [" "] * (width + 1)
+        pa = min(max(int(round((a.delay - floor) / span * width)), 0), width)
+        pe = min(max(int(round((e.delay - floor) / span * width)), 0), width)
+        row[pa] = "A"
+        row[pe] = "X" if pe == pa else "E"
+        print(f"k={a.k:<4}|{''.join(row)}|")
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "k",
+                    "addition_ns",
+                    "elimination_ns",
+                    "addition_runtime_s",
+                    "elimination_runtime_s",
+                ]
+            )
+            for a, e in zip(add, elim):
+                writer.writerow(
+                    [a.k, a.delay, e.delay, a.runtime_s, e.runtime_s]
+                )
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

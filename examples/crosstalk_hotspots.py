@@ -1,0 +1,73 @@
+"""Crosstalk triage: hotspots, drill-down, and coupling communities.
+
+Before reaching for the top-k machinery a designer usually wants the lay
+of the land: which nets hurt, who is attacking them, and which groups of
+nets are so inter-coupled that they should be re-planned together.  This
+example produces that triage view:
+
+1. the hotspot table (noisiest victims with aggressor context);
+2. a per-aggressor drill-down of the worst victim;
+3. coupling communities (connected components of the coupling graph) —
+   the planning units for shielding tracks;
+4. the functional-noise (glitch) summary for completeness.
+
+Run::
+
+    python examples/crosstalk_hotspots.py [--benchmark i1]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_paper_benchmark
+from repro.circuit.graphs import coupling_communities
+from repro.noise.analysis import analyze_noise
+from repro.noise.functional import analyze_functional_noise
+from repro.noise.report import hotspot_table, victim_breakdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="i1")
+    parser.add_argument("--count", type=int, default=8)
+    args = parser.parse_args()
+
+    design = make_paper_benchmark(args.benchmark)
+    result = analyze_noise(design)
+    print(
+        f"{design.name}: noiseless {result.nominal_delay():.4f} ns, "
+        f"noisy {result.circuit_delay():.4f} ns "
+        f"({result.iterations} iterations)\n"
+    )
+
+    print(f"top {args.count} hotspots:")
+    print(hotspot_table(design, result, count=args.count))
+
+    worst = result.noisiest_nets(1)
+    if worst:
+        victim = worst[0]
+        print(f"\ndrill-down of {victim} (standalone contributions):")
+        for c in victim_breakdown(design, result, victim)[:6]:
+            print(
+                f"  c{c.coupling_index:<4} from {c.aggressor:<12} "
+                f"{c.cap_ff:>6.2f} fF -> {c.solo_delay_noise_ns * 1e3:6.2f} ps"
+            )
+
+    communities = coupling_communities(design)
+    print(
+        f"\ncoupling communities: {len(communities)} group(s); "
+        "largest first:"
+    )
+    for comp in communities[:3]:
+        members = sorted(comp)
+        shown = ", ".join(members[:8])
+        more = f" (+{len(members) - 8} more)" if len(members) > 8 else ""
+        print(f"  [{len(members):>3} nets] {shown}{more}")
+
+    print()
+    print(analyze_functional_noise(design).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Noise signoff: clear every noise-induced timing violation, minimally.
+
+The paper's opening problem statement: "identify, for a given k, the set
+of k aggressors which must be fixed for optimally minimizing the noise
+violations in a design."  This example runs that loop end to end:
+
+1. constrain the design with a clock period that the noiseless circuit
+   meets but the noisy circuit misses (so every violation is
+   noise-induced);
+2. classify endpoints (hard / noise-induced / clean);
+3. search for the minimum elimination set that clears the violations;
+4. apply the fixes as physical shields and re-verify.
+
+Run::
+
+    python examples/noise_signoff.py [--benchmark i1] [--margin 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_paper_benchmark
+from repro.circuit.edit import shield_couplings
+from repro.core.signoff import minimum_fix_set
+from repro.noise.analysis import analyze_noise
+from repro.timing.constraints import Constraints, classify_noise_violations
+from repro.timing.sta import run_sta
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="i1")
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=0.6,
+        help=(
+            "where to place the clock period between the noiseless delay "
+            "(0.0) and the fully noisy delay (1.0); smaller = harder"
+        ),
+    )
+    parser.add_argument("--k-max", type=int, default=32)
+    args = parser.parse_args()
+
+    design = make_paper_benchmark(args.benchmark)
+    nominal = run_sta(design.netlist)
+    noisy = analyze_noise(design)
+    floor, ceiling = nominal.circuit_delay(), noisy.circuit_delay()
+    period = floor + args.margin * (ceiling - floor)
+    constraints = Constraints(clock_period=period)
+
+    print(
+        f"{design.name}: noiseless {floor:.4f} ns, noisy {ceiling:.4f} ns, "
+        f"clock period {period:.4f} ns"
+    )
+
+    result = minimum_fix_set(design, constraints, k_max=args.k_max)
+    print()
+    print(result.summary())
+
+    if result.feasible and result.k:
+        # Apply the fixes physically (shield wires, not magic deletion)
+        # and re-check with the extra grounded shield capacitance counted.
+        shielded = shield_couplings(design, result.couplings)
+        nominal2 = run_sta(shielded.netlist)
+        noisy2 = analyze_noise(shielded)
+        report = classify_noise_violations(nominal2, noisy2.timing, constraints)
+        print()
+        print("physical re-verification with shield capacitance:")
+        print("  " + report.summary().replace("\n", "\n  "))
+        if report.has_noise_violations:
+            print(
+                "  shields' own loading re-broke timing — the advisor "
+                "would iterate with the updated design"
+            )
+        else:
+            print("  signoff CLEAN after physical fixes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: top-k aggressor sets on a paper benchmark in ~20 lines.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    circuit_delay,
+    make_paper_benchmark,
+    top_k_addition_set,
+    top_k_elimination_set,
+)
+
+
+def main() -> None:
+    # Build the stand-in for the paper's i1 benchmark: 59 gates with 232
+    # extracted coupling capacitors (statistics from the paper's Table 2).
+    design = make_paper_benchmark("i1")
+    stats = design.stats()
+    print(
+        f"design {stats.name}: {stats.gates} gates, {stats.nets} nets, "
+        f"{stats.coupling_caps} coupling caps"
+    )
+
+    # The two anchors of every crosstalk story: the noiseless delay and the
+    # delay with every aggressor switching adversarially.
+    print(f"noiseless delay    : {circuit_delay(design, 'none'):.4f} ns")
+    print(f"all-aggressor delay: {circuit_delay(design, 'all'):.4f} ns")
+
+    # Which 5 couplings, added to a quiet design, hurt the most?
+    addition = top_k_addition_set(design, k=5)
+    print()
+    print(addition.summary())
+
+    # Which 5 couplings should be fixed (shielded/spaced) first?
+    elimination = top_k_elimination_set(design, k=5)
+    print()
+    print(elimination.summary())
+
+
+if __name__ == "__main__":
+    main()

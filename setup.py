@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs in offline environments lacking `wheel`."""
+from setuptools import setup
+
+setup()

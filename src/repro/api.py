@@ -1,0 +1,78 @@
+"""One-call facade over the library.
+
+Most users need three verbs: build a design, ask for a top-k set, and
+evaluate a what-if circuit delay.  Everything here is a thin composition
+of the subpackages; power users can reach down to
+:class:`~repro.core.engine.TopKEngine` directly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Union
+
+from .circuit.design import Design
+from .core.engine import ADDITION, ELIMINATION, TopKConfig, TopKError
+from .core.report import TopKResult
+from .core.topk_addition import top_k_addition_set
+from .core.topk_elimination import top_k_elimination_set
+from .noise.analysis import NoiseConfig, analyze_noise
+from .timing.sta import run_sta
+
+#: Public alias — the facade's configuration is the solver configuration.
+AnalysisConfig = TopKConfig
+
+
+def analyze(
+    design: Design,
+    k: int,
+    mode: str = ADDITION,
+    config: Optional[AnalysisConfig] = None,
+) -> TopKResult:
+    """Compute the top-k aggressor set of either flavor.
+
+    >>> from repro import make_paper_benchmark, analyze
+    >>> result = analyze(make_paper_benchmark("i1"), k=3)
+    >>> result.effective_k <= 3
+    True
+    """
+    if mode == ADDITION:
+        return top_k_addition_set(design, k, config)
+    if mode == ELIMINATION:
+        return top_k_elimination_set(design, k, config)
+    raise TopKError(
+        f"mode must be {ADDITION!r} or {ELIMINATION!r}, got {mode!r}"
+    )
+
+
+def circuit_delay(
+    design: Design,
+    aggressors: Union[str, FrozenSet[int]] = "all",
+    noise_config: Optional[NoiseConfig] = None,
+) -> float:
+    """Circuit delay (ns) under a chosen aggressor population.
+
+    Parameters
+    ----------
+    design:
+        The design to time.
+    aggressors:
+        ``"all"`` — full iterative noise analysis;
+        ``"none"`` — noiseless STA;
+        a frozenset of coupling ids — noise analysis restricted to those
+        couplings (the addition-set what-if).
+    noise_config:
+        Iteration knobs for the noisy cases.
+    """
+    if isinstance(aggressors, str):
+        if aggressors == "none":
+            return run_sta(design.netlist).circuit_delay()
+        if aggressors == "all":
+            cfg = noise_config if noise_config is not None else NoiseConfig()
+            return analyze_noise(design, config=cfg).circuit_delay()
+        raise ValueError(
+            f"aggressors must be 'all', 'none' or a set of ids, "
+            f"got {aggressors!r}"
+        )
+    cfg = noise_config if noise_config is not None else NoiseConfig()
+    view = design.coupling.restricted(frozenset(aggressors))
+    return analyze_noise(design, coupling=view, config=cfg).circuit_delay()

@@ -1,0 +1,192 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+Lets users bring their own combinational circuits (the same format the
+original ISCAS benchmarks the paper's generation of tools consumed ship
+in).  Sequential elements (DFF) are cut: a flop's output becomes a primary
+input and its input a primary output, the standard combinational-core
+transformation for timing/noise analysis.
+
+Supported gate keywords: AND, NAND, OR, NOR, XOR, XNOR, NOT/INV, BUF/BUFF,
+DFF.  Gates with more inputs than the library offers are decomposed into
+balanced trees of 2-input gates.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .cells import CellLibrary, default_library
+from .netlist import Netlist, NetlistError
+
+
+class BenchFormatError(ValueError):
+    """Raised on unparseable ``.bench`` input."""
+
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w\.\[\]$]+)\s*=\s*(?P<fn>[A-Za-z]+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w\.\[\]$]+)\s*\)\s*$", re.I)
+
+_FUNCTION_CELLS: Dict[str, Tuple[Optional[str], str]] = {
+    # keyword -> (1-input cell, 2-input cell)  (None = invalid arity)
+    "AND": (None, "AND2_X1"),
+    "NAND": (None, "NAND2_X1"),
+    "OR": (None, "OR2_X1"),
+    "NOR": (None, "NOR2_X1"),
+    "XOR": (None, "XOR2_X1"),
+    "XNOR": (None, "XNOR2_X1"),
+    "NOT": ("INV_X1", None),
+    "INV": ("INV_X1", None),
+    "BUF": ("BUF_X1", None),
+    "BUFF": ("BUF_X1", None),
+}
+
+#: Inner node of a decomposed wide gate: the non-inverting 2-input version.
+_TREE_INNER = {"NAND": "AND2_X1", "NOR": "OR2_X1", "AND": "AND2_X1",
+               "OR": "OR2_X1", "XOR": "XOR2_X1", "XNOR": "XOR2_X1"}
+
+
+def parse_bench(
+    text: str,
+    name: str = "bench",
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Parse ``.bench`` text into a :class:`~repro.circuit.netlist.Netlist`."""
+    lib = library if library is not None else default_library()
+    nl = Netlist(name, lib)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2)
+            (inputs if kind == "INPUT" else outputs).append(net)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            out = gate_match.group("out")
+            fn = gate_match.group("fn").upper()
+            ins = [s.strip() for s in gate_match.group("ins").split(",") if s.strip()]
+            gates.append((out, fn, ins))
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+
+    # Cut sequential elements.
+    flop_outputs = [out for out, fn, _ in gates if fn == "DFF"]
+    for out in flop_outputs:
+        inputs.append(out)
+    extra_outputs = [ins[0] for out, fn, ins in gates if fn == "DFF" for _ in [0]]
+    gates = [(o, f, i) for o, f, i in gates if f != "DFF"]
+    outputs.extend(n for n in extra_outputs if n not in outputs)
+
+    for net in inputs:
+        nl.add_primary_input(net)
+
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"__{prefix}{counter[0]}"
+
+    def emit(out: str, fn: str, ins: List[str]) -> None:
+        if fn not in _FUNCTION_CELLS:
+            raise BenchFormatError(f"unsupported gate function {fn!r}")
+        one_in, two_in = _FUNCTION_CELLS[fn]
+        if len(ins) == 1:
+            cell = one_in if one_in is not None else None
+            if cell is None:
+                # AND(a) etc. degenerate to a buffer.
+                cell = "BUF_X1"
+            nl.add_gate(f"g_{out}", cell, ins, out)
+            return
+        if two_in is None:
+            raise BenchFormatError(f"{fn} cannot take {len(ins)} inputs")
+        if len(ins) == 2:
+            nl.add_gate(f"g_{out}", two_in, ins, out)
+            return
+        # Decompose wide gates into a balanced tree; the output stage keeps
+        # the (possibly inverting) function, inner stages use the
+        # non-inverting counterpart so logic is preserved for NAND/NOR.
+        inner_cell = _TREE_INNER[fn]
+        work = list(ins)
+        while len(work) > 2:
+            next_level: List[str] = []
+            it = iter(work)
+            for a in it:
+                b = next(it, None)
+                if b is None:
+                    next_level.append(a)
+                    continue
+                mid = fresh("t")
+                nl.add_gate(f"g_{mid}", inner_cell, [a, b], mid)
+                next_level.append(mid)
+            work = next_level
+        nl.add_gate(f"g_{out}", two_in, work, out)
+
+    for out, fn, ins in gates:
+        if not ins:
+            raise BenchFormatError(f"gate for {out!r} has no inputs")
+        emit(out, fn, ins)
+
+    for net in outputs:
+        if net not in nl.nets:
+            raise BenchFormatError(f"OUTPUT({net}) references undefined net")
+        nl.add_primary_output(net)
+    nl.check()
+    return nl
+
+
+def load_bench(
+    path: Union[str, Path], library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    p = Path(path)
+    return parse_bench(p.read_text(), name=p.stem, library=library)
+
+
+_WRITE_FN: Dict[str, str] = {
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    # Complex cells flatten to their dominant function for interchange.
+    "AOI21": "NOR",
+    "OAI21": "NAND",
+}
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text.
+
+    Complex cells (AOI/OAI) are written with their closest simple function;
+    the result round-trips structurally (same nets and topology) though not
+    always functionally for those cells.
+    """
+    lines: List[str] = [f"# {netlist.name} (written by repro)"]
+    for net in netlist.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in netlist.gates.values():
+        if gate.is_primary_input or gate.is_primary_output:
+            continue
+        fn = _WRITE_FN.get(gate.cell.function)
+        if fn is None:
+            raise NetlistError(
+                f"cell function {gate.cell.function!r} has no .bench form"
+            )
+        ins = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {fn}({ins})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,197 @@
+"""Standard-cell library model.
+
+The paper synthesized its benchmarks with a 0.13 um standard-cell library
+and adopted the *linear* noise-analysis framework: every driver is a
+Thevenin source behind a drive resistance.  This module provides the same
+abstraction — a small library of combinational cells, each characterized by
+
+* a logic function tag (for netlist lint and for logic-masking filters),
+* an input pin capacitance (fF per input),
+* a drive resistance (kOhm) used both for gate delay and for the victim
+  holding resistance in coupling-noise computation,
+* an intrinsic (unloaded) delay in ns.
+
+The numbers are 0.13 um-flavored: FO4 delay of roughly 40-60 ps, input
+capacitance of a unit inverter around 2 fF, unit drive resistance around
+8 kOhm.  Absolute accuracy is irrelevant to the reproduced claims (see
+DESIGN.md section 2); what matters is that delays, slews and noise pulses
+scale the way real gates scale — with load, fanin and drive strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Supply voltage (V) of the emulated 0.13 um process.
+VDD = 1.2
+
+#: Conversion factor: kOhm * fF = 1e-12 * 1e-15 * 1e3 s = 1e-6 ns... not quite.
+#: 1 kOhm * 1 fF = 1e3 * 1e-15 s = 1e-12 s = 1e-3 ns, hence:
+RC_TO_NS = 1e-3
+
+
+class CellError(ValueError):
+    """Raised for malformed cell definitions or unknown cell lookups."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell (combinational).
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2_X1"``.
+    function:
+        Logic-function tag: one of ``INV, BUF, AND, NAND, OR, NOR, XOR,
+        XNOR, AOI21, OAI21, INPUT, OUTPUT``.
+    num_inputs:
+        Number of input pins.
+    input_cap:
+        Capacitance of each input pin in fF.
+    drive_res:
+        Thevenin drive resistance in kOhm (per the linear noise framework).
+    intrinsic_delay:
+        Unloaded pin-to-pin delay in ns.
+    slew_factor:
+        Output slew = ``slew_factor * (intrinsic_delay + drive_res * load)``.
+        Dimensionless; around 2 for a 10-90 ramp approximation.
+    """
+
+    name: str
+    function: str
+    num_inputs: int
+    input_cap: float
+    drive_res: float
+    intrinsic_delay: float
+    slew_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 0:
+            raise CellError(f"cell {self.name}: negative num_inputs")
+        if self.input_cap < 0 or self.drive_res < 0 or self.intrinsic_delay < 0:
+            raise CellError(f"cell {self.name}: negative electrical parameter")
+        if self.function not in _KNOWN_FUNCTIONS:
+            raise CellError(
+                f"cell {self.name}: unknown function {self.function!r}"
+            )
+
+    def delay(self, load_cap: float) -> float:
+        """Pin-to-output delay (ns) driving ``load_cap`` fF."""
+        if load_cap < 0:
+            raise CellError(f"cell {self.name}: negative load {load_cap}")
+        return self.intrinsic_delay + self.drive_res * load_cap * RC_TO_NS
+
+    def output_slew(self, load_cap: float) -> float:
+        """0-100% output transition time (ns) driving ``load_cap`` fF."""
+        return self.slew_factor * self.delay(load_cap)
+
+    @property
+    def is_source(self) -> bool:
+        """True for the pseudo-cell modeling a primary input driver."""
+        return self.function == "INPUT"
+
+    @property
+    def is_sink(self) -> bool:
+        """True for the pseudo-cell modeling a primary output load."""
+        return self.function == "OUTPUT"
+
+
+_KNOWN_FUNCTIONS = frozenset(
+    {
+        "INV",
+        "BUF",
+        "AND",
+        "NAND",
+        "OR",
+        "NOR",
+        "XOR",
+        "XNOR",
+        "AOI21",
+        "OAI21",
+        "INPUT",
+        "OUTPUT",
+    }
+)
+
+#: Functions whose output inverts when any single input rises.
+INVERTING_FUNCTIONS = frozenset({"INV", "NAND", "NOR", "XNOR", "AOI21", "OAI21"})
+
+
+@dataclass
+class CellLibrary:
+    """A named collection of :class:`Cell` objects.
+
+    Provides lookup by name and convenience queries used by the synthetic
+    benchmark generator (cells grouped by fanin count).
+    """
+
+    name: str
+    cells: Dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self.cells:
+            raise CellError(f"duplicate cell {cell.name!r} in library {self.name}")
+        self.cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise CellError(
+                f"cell {name!r} not found in library {self.name}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def combinational(self) -> Tuple[Cell, ...]:
+        """All real logic cells (excludes INPUT/OUTPUT pseudo-cells)."""
+        return tuple(
+            c for c in self.cells.values() if not (c.is_source or c.is_sink)
+        )
+
+    def with_fanin(self, n: int) -> Tuple[Cell, ...]:
+        """All combinational cells with exactly ``n`` input pins."""
+        return tuple(c for c in self.combinational() if c.num_inputs == n)
+
+    def max_fanin(self) -> int:
+        cells = self.combinational()
+        if not cells:
+            return 0
+        return max(c.num_inputs for c in cells)
+
+
+def default_library() -> CellLibrary:
+    """Build the default 0.13 um-flavored library used by the reproduction.
+
+    Two drive strengths (X1, X2) for the common gates; X2 halves the drive
+    resistance and doubles the input capacitance, like a real library.
+    """
+    lib = CellLibrary(name="repro013")
+
+    def both_strengths(base: str, function: str, n: int, cin: float,
+                       rdrv: float, d0: float) -> None:
+        lib.add(Cell(f"{base}_X1", function, n, cin, rdrv, d0))
+        lib.add(Cell(f"{base}_X2", function, n, 2.0 * cin, 0.5 * rdrv, d0))
+
+    both_strengths("INV", "INV", 1, 2.0, 8.0, 0.010)
+    both_strengths("BUF", "BUF", 1, 2.0, 8.0, 0.022)
+    both_strengths("NAND2", "NAND", 2, 2.4, 9.0, 0.014)
+    both_strengths("NOR2", "NOR", 2, 2.6, 11.0, 0.016)
+    both_strengths("AND2", "AND", 2, 2.4, 9.0, 0.026)
+    both_strengths("OR2", "OR", 2, 2.6, 11.0, 0.028)
+    lib.add(Cell("NAND3_X1", "NAND", 3, 2.8, 11.0, 0.018))
+    lib.add(Cell("NOR3_X1", "NOR", 3, 3.0, 14.0, 0.022))
+    lib.add(Cell("XOR2_X1", "XOR", 2, 3.6, 12.0, 0.030))
+    lib.add(Cell("XNOR2_X1", "XNOR", 2, 3.6, 12.0, 0.030))
+    lib.add(Cell("AOI21_X1", "AOI21", 3, 2.6, 12.0, 0.020))
+    lib.add(Cell("OAI21_X1", "OAI21", 3, 2.6, 12.0, 0.020))
+    # Pseudo-cells: primary input drivers and primary output loads.
+    lib.add(Cell("__INPUT__", "INPUT", 0, 0.0, 6.0, 0.0))
+    lib.add(Cell("__OUTPUT__", "OUTPUT", 1, 3.0, 0.0, 0.0))
+    return lib

@@ -1,0 +1,202 @@
+"""Coupling capacitances and the coupling graph.
+
+Each :class:`CouplingCap` is one aggressor-victim capacitance between two
+nets.  The paper's top-k sets are sets of *aggressor-victim couplings*, so
+the coupling id is the atomic unit of everything downstream: aggressor
+identities, set membership, and the final reported fixes.
+
+A physical capacitor couples both ways — net A injects noise on net B and
+vice versa.  Following the paper we treat each *direction* as a distinct
+coupling (fixing a coupling by spacing/shielding removes both directions,
+but the top-k machinery ranks directed aggressor→victim contributions, and
+its reported set identifies the capacitor regardless of direction).  The
+:class:`CouplingGraph` indexes both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .netlist import Netlist, NetlistError
+
+
+class CouplingError(ValueError):
+    """Raised for invalid coupling definitions."""
+
+
+@dataclass(frozen=True)
+class CouplingCap:
+    """A single coupling capacitor between two nets.
+
+    Attributes
+    ----------
+    index:
+        Dense integer id, unique within one :class:`CouplingGraph`.
+    net_a, net_b:
+        The two coupled nets (order is canonical: ``net_a < net_b``).
+    cap:
+        Coupling capacitance in fF (> 0).
+    """
+
+    index: int
+    net_a: str
+    net_b: str
+    cap: float
+
+    def other(self, net: str) -> str:
+        """The net on the far side of this capacitor from ``net``."""
+        if net == self.net_a:
+            return self.net_b
+        if net == self.net_b:
+            return self.net_a
+        raise CouplingError(
+            f"net {net!r} is not a terminal of coupling {self.index}"
+        )
+
+    def touches(self, net: str) -> bool:
+        return net == self.net_a or net == self.net_b
+
+
+class CouplingGraph:
+    """All coupling caps of a design, indexed by net and by id.
+
+    >>> from repro.circuit.netlist import Netlist
+    >>> nl = Netlist("t")
+    >>> _ = nl.add_primary_input("a"); _ = nl.add_primary_input("b")
+    >>> cg = CouplingGraph(nl)
+    >>> c = cg.add("a", "b", 1.5)
+    >>> cg.aggressors_of("a")[0].other("a")
+    'b'
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._caps: List[CouplingCap] = []
+        self._by_net: Dict[str, List[int]] = {}
+        self._by_pair: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, net_a: str, net_b: str, cap: float) -> CouplingCap:
+        """Add a coupling capacitor of ``cap`` fF between two distinct nets.
+
+        Parallel caps between the same pair merge into one (caps add).
+        """
+        if cap <= 0.0:
+            raise CouplingError(f"coupling cap must be > 0, got {cap}")
+        if net_a == net_b:
+            raise CouplingError(f"net {net_a!r} cannot couple to itself")
+        for n in (net_a, net_b):
+            if n not in self.netlist.nets:
+                raise NetlistError(f"coupling references unknown net {n!r}")
+        a, b = sorted((net_a, net_b))
+        if (a, b) in self._by_pair:
+            idx = self._by_pair[(a, b)]
+            old = self._caps[idx]
+            merged = CouplingCap(idx, a, b, old.cap + cap)
+            self._caps[idx] = merged
+            return merged
+        idx = len(self._caps)
+        cc = CouplingCap(index=idx, net_a=a, net_b=b, cap=cap)
+        self._caps.append(cc)
+        self._by_pair[(a, b)] = idx
+        self._by_net.setdefault(a, []).append(idx)
+        self._by_net.setdefault(b, []).append(idx)
+        return cc
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._caps)
+
+    def __iter__(self) -> Iterator[CouplingCap]:
+        return iter(self._caps)
+
+    def by_index(self, index: int) -> CouplingCap:
+        try:
+            return self._caps[index]
+        except IndexError:
+            raise CouplingError(f"no coupling with index {index}") from None
+
+    def aggressors_of(self, victim: str) -> List[CouplingCap]:
+        """All couplings that inject noise onto ``victim``."""
+        return [self._caps[i] for i in self._by_net.get(victim, [])]
+
+    def coupling_cap_total(self, victim: str) -> float:
+        """Total coupling capacitance hanging off ``victim`` (fF)."""
+        return sum(c.cap for c in self.aggressors_of(victim))
+
+    def between(self, net_a: str, net_b: str) -> Optional[CouplingCap]:
+        a, b = sorted((net_a, net_b))
+        idx = self._by_pair.get((a, b))
+        return None if idx is None else self._caps[idx]
+
+    def all_indices(self) -> FrozenSet[int]:
+        return frozenset(range(len(self._caps)))
+
+    def restricted(self, active: FrozenSet[int]) -> "CouplingView":
+        """A view exposing only the couplings whose index is in ``active``.
+
+        Used by the brute-force baseline and by per-subset circuit-delay
+        evaluation: "what is the circuit delay if only these couplings
+        exist" / "...if these couplings were fixed".
+        """
+        bad = active - self.all_indices()
+        if bad:
+            raise CouplingError(f"unknown coupling indices {sorted(bad)[:5]}")
+        return CouplingView(self, active)
+
+    def without(self, removed: FrozenSet[int]) -> "CouplingView":
+        """A view with ``removed`` couplings deleted (elimination semantics)."""
+        return self.restricted(self.all_indices() - removed)
+
+
+class CouplingView:
+    """Read-only subset view over a :class:`CouplingGraph`.
+
+    Implements the same query surface the noise analysis consumes, so the
+    analysis code is agnostic to whether it sees the full design or a
+    what-if subset.
+    """
+
+    def __init__(self, graph: CouplingGraph, active: FrozenSet[int]) -> None:
+        self._graph = graph
+        self._active = frozenset(active)
+
+    @property
+    def netlist(self) -> Netlist:
+        return self._graph.netlist
+
+    @property
+    def active_indices(self) -> FrozenSet[int]:
+        return self._active
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def __iter__(self) -> Iterator[CouplingCap]:
+        for cc in self._graph:
+            if cc.index in self._active:
+                yield cc
+
+    def by_index(self, index: int) -> CouplingCap:
+        if index not in self._active:
+            raise CouplingError(f"coupling {index} is not active in this view")
+        return self._graph.by_index(index)
+
+    def aggressors_of(self, victim: str) -> List[CouplingCap]:
+        return [
+            c for c in self._graph.aggressors_of(victim) if c.index in self._active
+        ]
+
+    def coupling_cap_total(self, victim: str) -> float:
+        return sum(c.cap for c in self.aggressors_of(victim))
+
+    def restricted(self, active: FrozenSet[int]) -> "CouplingView":
+        return CouplingView(self._graph, self._active & frozenset(active))
+
+    def without(self, removed: FrozenSet[int]) -> "CouplingView":
+        return CouplingView(self._graph, self._active - frozenset(removed))

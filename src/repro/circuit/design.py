@@ -1,0 +1,69 @@
+"""The :class:`Design` bundle: netlist + parasitics + coupling.
+
+Everything the noise analysis and the top-k algorithms consume is carried
+by one of these.  A design is immutable-by-convention after construction;
+what-if analyses (brute force, per-subset delay) never mutate it — they use
+:class:`~repro.circuit.coupling.CouplingView` subsets instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .coupling import CouplingGraph
+from .netlist import Netlist
+from .placement import Placement
+
+
+@dataclass
+class Design:
+    """A complete analyzable design.
+
+    Attributes
+    ----------
+    netlist:
+        Gate-level connectivity with annotated wire RC.
+    coupling:
+        The design's coupling capacitors.
+    placement:
+        The synthetic placement the coupling was extracted from (optional:
+        hand-built designs may attach couplings directly).
+    """
+
+    netlist: Netlist
+    coupling: CouplingGraph
+    placement: Optional[Placement] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.coupling.netlist is not self.netlist:
+            raise ValueError("coupling graph references a different netlist")
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+    def stats(self) -> "DesignStats":
+        return DesignStats(
+            name=self.name,
+            gates=self.netlist.gate_count(),
+            nets=self.netlist.net_count(),
+            coupling_caps=len(self.coupling),
+        )
+
+
+@dataclass(frozen=True)
+class DesignStats:
+    """Headline statistics in the format of the paper's Table 2."""
+
+    name: str
+    gates: int
+    nets: int
+    coupling_caps: int
+
+    def row(self) -> str:
+        return (
+            f"{self.name:>6} {self.gates:>6} {self.nets:>6} "
+            f"{self.coupling_caps:>9}"
+        )

@@ -1,0 +1,122 @@
+"""What-if design edits: the physical fixes the elimination set drives.
+
+The top-k elimination set tells the designer *which* couplings to fix;
+this module models *how* they get fixed, so that ECO loops (see
+``examples/shielding_advisor.py``) can iterate on a physically plausible
+design instead of just deleting capacitors:
+
+* :func:`remove_couplings` — spacing/rerouting: the coupling disappears.
+* :func:`shield_couplings` — a grounded shield wire between the two nets:
+  the mutual capacitance disappears but reappears as *grounded*
+  capacitance on both nets (which costs a little nominal delay — shields
+  are not free, and the model should say so).
+* :func:`upsize_driver` — swap a victim's driver to its X2 variant,
+  halving the holding resistance (and thus the noise pulse peak) at the
+  cost of more input capacitance upstream.
+
+All edits return a new :class:`~repro.circuit.design.Design` sharing the
+same netlist object only when the edit does not touch it; netlist-mutating
+edits deep-copy first so callers can compare before/after.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import FrozenSet
+
+from .cells import CellError
+from .coupling import CouplingGraph
+from .design import Design
+
+
+class EditError(ValueError):
+    """Raised for unsatisfiable edits."""
+
+
+#: Fraction of a removed coupling cap that lands on each terminal as
+#: grounded capacitance when a shield wire is inserted between the nets.
+SHIELD_GROUND_FRACTION = 0.8
+
+
+def remove_couplings(design: Design, fixed: FrozenSet[int]) -> Design:
+    """Delete the given couplings outright (spacing / rerouting model)."""
+    _check_indices(design, fixed)
+    new_graph = CouplingGraph(design.netlist)
+    for cc in design.coupling:
+        if cc.index not in fixed:
+            new_graph.add(cc.net_a, cc.net_b, cc.cap)
+    return Design(
+        netlist=design.netlist,
+        coupling=new_graph,
+        placement=design.placement,
+        description=design.description + f" [-{len(fixed)} couplings]",
+    )
+
+
+def shield_couplings(design: Design, fixed: FrozenSet[int]) -> Design:
+    """Insert grounded shields: coupling cap becomes ground cap.
+
+    Each fixed coupling's mutual capacitance is removed and
+    ``SHIELD_GROUND_FRACTION`` of it is added to *each* terminal's wire
+    capacitance — the shield wire still sits next to both nets.  The
+    netlist is copied because ground caps change nominal timing.
+    """
+    _check_indices(design, fixed)
+    netlist = copy.deepcopy(design.netlist)
+    new_graph = CouplingGraph(netlist)
+    for cc in design.coupling:
+        if cc.index in fixed:
+            for terminal in (cc.net_a, cc.net_b):
+                netlist.net(terminal).wire_cap += (
+                    SHIELD_GROUND_FRACTION * cc.cap
+                )
+        else:
+            new_graph.add(cc.net_a, cc.net_b, cc.cap)
+    return Design(
+        netlist=netlist,
+        coupling=new_graph,
+        placement=design.placement,
+        description=design.description + f" [shielded {len(fixed)}]",
+    )
+
+
+def upsize_driver(design: Design, victim: str) -> Design:
+    """Swap the victim's driver cell for its X2 variant.
+
+    Halved drive resistance weakens every noise pulse on the victim; the
+    doubled input capacitance loads the fanin.  Raises
+    :class:`EditError` when the driver has no X2 variant or is already X2.
+    """
+    netlist = copy.deepcopy(design.netlist)
+    gate = netlist.driver_gate(victim)
+    if gate.is_primary_input:
+        raise EditError(f"net {victim!r} is a primary input; nothing to upsize")
+    name = gate.cell.name
+    if name.endswith("_X2"):
+        raise EditError(f"driver of {victim!r} is already {name}")
+    if not name.endswith("_X1"):
+        raise EditError(f"driver cell {name!r} has no sizing variants")
+    upsized_name = name[: -len("_X1")] + "_X2"
+    try:
+        gate.cell = netlist.library[upsized_name]  # type: ignore[misc]
+    except CellError:
+        raise EditError(
+            f"library has no X2 variant for {name!r}"
+        ) from None
+    new_graph = CouplingGraph(netlist)
+    for cc in design.coupling:
+        new_graph.add(cc.net_a, cc.net_b, cc.cap)
+    return Design(
+        netlist=netlist,
+        coupling=new_graph,
+        placement=design.placement,
+        description=design.description + f" [upsized {victim}]",
+    )
+
+
+def _check_indices(design: Design, fixed: FrozenSet[int]) -> None:
+    unknown = fixed - design.coupling.all_indices()
+    if unknown:
+        raise EditError(
+            f"unknown coupling indices {sorted(unknown)[:5]}"
+        )

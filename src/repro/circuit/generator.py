@@ -1,0 +1,242 @@
+"""Synthetic benchmark generation.
+
+The paper evaluates on ten placed-and-routed circuits i1..i10 and publishes
+only their statistics (#gates, #nets, #coupling caps).  The circuits
+themselves are proprietary, so — per the substitution policy in DESIGN.md —
+we regenerate structurally matched stand-ins: seeded random combinational
+DAGs with the published gate counts, synthetic placement, extracted wire RC,
+and a coupling extraction steered to the published capacitor counts.
+
+Two entry points:
+
+* :func:`random_design` — fully parameterized generator, used by tests and
+  by users building their own workloads;
+* :func:`make_paper_benchmark` — the i1..i10 stand-ins keyed by the
+  statistics table below (:data:`PAPER_BENCHMARKS`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .cells import CellLibrary, default_library
+from .design import Design
+from .netlist import Netlist
+from .parasitics import ParasiticConstants, annotate_parasitics
+from .placement import Placement, extract_coupling
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published statistics of one paper benchmark (Table 2 columns 1-4)."""
+
+    name: str
+    gates: int
+    nets: int
+    coupling_caps: int
+
+
+#: The paper's Table 2 benchmark statistics, verbatim.
+PAPER_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchmarkSpec("i1", 59, 46, 232),
+        BenchmarkSpec("i2", 222, 221, 706),
+        BenchmarkSpec("i3", 132, 126, 551),
+        BenchmarkSpec("i4", 236, 230, 1181),
+        BenchmarkSpec("i5", 204, 138, 1835),
+        BenchmarkSpec("i6", 735, 668, 7298),
+        BenchmarkSpec("i7", 937, 870, 9605),
+        BenchmarkSpec("i8", 1609, 1528, 10235),
+        BenchmarkSpec("i9", 1018, 955, 14140),
+        BenchmarkSpec("i10", 3379, 3155, 18318),
+    )
+}
+
+
+class GeneratorError(ValueError):
+    """Raised for unsatisfiable generator parameters."""
+
+
+def random_netlist(
+    name: str,
+    n_gates: int,
+    n_inputs: Optional[int] = None,
+    n_outputs: Optional[int] = None,
+    seed: int = 0,
+    library: Optional[CellLibrary] = None,
+    max_fanout: int = 6,
+) -> Netlist:
+    """Generate a random combinational DAG with ``n_gates`` logic gates.
+
+    The construction is the standard layered random-circuit recipe: gates
+    are created in topological order; each gate draws its inputs from
+    already-created nets with a locality bias (recent nets are preferred),
+    which yields shallow reconvergent logic like mapped synthesis output.
+    Nets that end up unread become primary outputs, guaranteeing every net
+    is observable.
+
+    Parameters
+    ----------
+    name:
+        Netlist name.
+    n_gates:
+        Number of logic-gate instances (pseudo input/output cells excluded).
+    n_inputs / n_outputs:
+        Primary I/O counts; defaults scale as ~sqrt of the gate count.
+    seed:
+        Deterministic seed.
+    library:
+        Cell library; defaults to :func:`~repro.circuit.cells.default_library`.
+    max_fanout:
+        Cap on the number of loads per net (keeps slews realistic).
+    """
+    if n_gates < 1:
+        raise GeneratorError("n_gates must be >= 1")
+    lib = library if library is not None else default_library()
+    rng = random.Random(seed)
+    if n_inputs is None:
+        n_inputs = max(2, int(round(n_gates ** 0.5)))
+    if n_outputs is None:
+        n_outputs = max(1, int(round(n_gates ** 0.5 / 2)))
+
+    nl = Netlist(name, lib)
+    available: List[str] = []  # nets that may still take loads
+    fanout_count: Dict[str, int] = {}
+
+    for i in range(n_inputs):
+        net = f"pi{i}"
+        nl.add_primary_input(net)
+        available.append(net)
+        fanout_count[net] = 0
+
+    cells_by_fanin = {
+        n: lib.with_fanin(n) for n in range(1, lib.max_fanin() + 1)
+    }
+    max_fanin = max(n for n, cs in cells_by_fanin.items() if cs)
+
+    def pick_inputs(count: int) -> List[str]:
+        """Draw ``count`` distinct driver nets with a locality bias."""
+        picks: List[str] = []
+        attempts = 0
+        while len(picks) < count and attempts < 50 * count:
+            attempts += 1
+            # Bias toward recently created nets: square the unit draw.
+            pos = int(len(available) * (1.0 - rng.random() ** 2))
+            pos = min(pos, len(available) - 1)
+            cand = available[pos]
+            if cand not in picks:
+                picks.append(cand)
+        while len(picks) < count:  # tiny frontier fallback
+            for cand in available:
+                if cand not in picks:
+                    picks.append(cand)
+                    break
+        return picks
+
+    for i in range(n_gates):
+        fanin = min(rng.choices((1, 2, 3), weights=(3, 8, 2))[0], max_fanin)
+        while not cells_by_fanin.get(fanin):
+            fanin -= 1
+        cell = rng.choice(cells_by_fanin[fanin])
+        inputs = pick_inputs(min(fanin, len(available)))
+        if len(inputs) < fanin:
+            # Not enough distinct nets early on; degrade to a 1-input cell.
+            cell = rng.choice(cells_by_fanin[1])
+            inputs = inputs[:1]
+        out = f"n{i}"
+        nl.add_gate(f"g{i}", cell.name, inputs, out)
+        for net in inputs:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+            if fanout_count[net] >= max_fanout and net in available:
+                available.remove(net)
+        available.append(out)
+        fanout_count[out] = 0
+
+    # Primary outputs: every unread net first, then the latest nets.
+    unread = [n for n in nl.nets if nl.net(n).fanout == 0]
+    chosen: List[str] = []
+    for net in unread:
+        chosen.append(net)
+    extra = [n for n in reversed(list(nl.nets)) if n not in chosen]
+    for net in extra:
+        if len(chosen) >= max(n_outputs, len(unread)):
+            break
+        chosen.append(net)
+    for net in chosen:
+        nl.add_primary_output(net)
+    nl.check()
+    return nl
+
+
+def random_design(
+    name: str,
+    n_gates: int,
+    target_caps: Optional[int] = None,
+    seed: int = 0,
+    library: Optional[CellLibrary] = None,
+    constants: ParasiticConstants = ParasiticConstants(),
+    n_inputs: Optional[int] = None,
+    n_outputs: Optional[int] = None,
+) -> Design:
+    """Generate a complete :class:`~repro.circuit.design.Design`.
+
+    Runs the full synthetic flow: netlist -> placement -> parasitics ->
+    coupling extraction (optionally steered to ``target_caps``).
+    """
+    nl = random_netlist(
+        name,
+        n_gates,
+        seed=seed,
+        library=library,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+    )
+    placement = Placement(nl, seed=seed)
+    annotate_parasitics(nl, placement, constants)
+    coupling = extract_coupling(placement, target_caps=target_caps, seed=seed)
+    return Design(
+        netlist=nl,
+        coupling=coupling,
+        placement=placement,
+        description=f"random design seed={seed}",
+    )
+
+
+def make_paper_benchmark(name: str, seed: Optional[int] = None) -> Design:
+    """Build the stand-in for paper benchmark ``name`` ("i1" .. "i10").
+
+    Gate count matches the paper exactly; the coupling extraction is
+    steered to the paper's capacitor count.  The seed defaults to the
+    benchmark index so each circuit is distinct but reproducible.
+    """
+    try:
+        spec = PAPER_BENCHMARKS[name]
+    except KeyError:
+        raise GeneratorError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{sorted(PAPER_BENCHMARKS)}"
+        ) from None
+    if seed is None:
+        seed = int(name.lstrip("i"))
+    design = random_design(
+        name,
+        n_gates=spec.gates,
+        target_caps=spec.coupling_caps,
+        seed=seed,
+    )
+    design.description = (
+        f"stand-in for paper benchmark {name} "
+        f"(published: {spec.gates} gates, {spec.nets} nets, "
+        f"{spec.coupling_caps} coupling caps)"
+    )
+    return design
+
+
+def all_paper_benchmarks(names: Optional[Sequence[str]] = None) -> List[Design]:
+    """Build several paper benchmarks (all ten by default)."""
+    if names is None:
+        names = sorted(PAPER_BENCHMARKS, key=lambda n: int(n.lstrip("i")))
+    return [make_paper_benchmark(n) for n in names]

@@ -1,0 +1,69 @@
+"""networkx exports of the design's graphs.
+
+EDA analyses love graph algorithms; rather than re-implement centrality,
+components, or cuts, this module hands the two structural views of a
+design to networkx:
+
+* the *timing DAG* — nodes are nets, directed edges follow gate arcs;
+* the *coupling graph* — nodes are nets, undirected weighted edges are
+  coupling capacitors.
+
+The examples of use shipping in this repo: spotting coupling communities
+(clusters of mutually coupled nets that a single shielding track can
+clean up), and sanity-checking generator output (connectivity, DAG-ness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from .coupling import CouplingGraph
+from .design import Design
+from .netlist import Netlist
+
+
+def timing_dag(netlist: Netlist) -> "nx.DiGraph":
+    """The net-level timing DAG as a networkx DiGraph.
+
+    Node attributes: ``level`` is left to callers (cheap via
+    :class:`~repro.timing.graph.TimingGraph`); edge attribute ``gate`` is
+    the driving gate's name.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(netlist.nets)
+    for net_name in netlist.nets:
+        driver = netlist.driver_gate(net_name)
+        for u in driver.inputs:
+            graph.add_edge(u, net_name, gate=driver.name)
+    return graph
+
+
+def coupling_graph(
+    coupling: CouplingGraph, netlist: Optional[Netlist] = None
+) -> "nx.Graph":
+    """The coupling capacitors as an undirected weighted networkx Graph."""
+    graph = nx.Graph()
+    if netlist is not None:
+        graph.add_nodes_from(netlist.nets)
+    for cc in coupling:
+        graph.add_edge(cc.net_a, cc.net_b, weight=cc.cap, index=cc.index)
+    return graph
+
+
+def coupling_communities(design: Design, min_size: int = 2):
+    """Connected components of the coupling graph, largest first.
+
+    Each component is a set of nets whose couplings interact (directly or
+    transitively); a fix planned for one member may perturb the others,
+    so ECO loops should treat a component as one planning unit.
+    """
+    graph = coupling_graph(design.coupling)
+    components = [
+        frozenset(c)
+        for c in nx.connected_components(graph)
+        if len(c) >= min_size
+    ]
+    components.sort(key=len, reverse=True)
+    return components

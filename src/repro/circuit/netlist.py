@@ -1,0 +1,321 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is a directed acyclic hyper-graph of :class:`Gate`
+instances connected by :class:`Net` objects.  Every net has exactly one
+driver (a gate output or a primary input) and any number of loads.  Primary
+inputs are modeled as instances of the ``__INPUT__`` pseudo-cell and primary
+outputs as loads of the ``__OUTPUT__`` pseudo-cell, so the timing engine can
+treat every net uniformly.
+
+This is the design database the rest of the library builds on: the timing
+graph (``repro.timing.graph``), the coupling graph (``repro.circuit.coupling``),
+and the synthetic placement (``repro.circuit.placement``) all reference nets
+and gates by name through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cells import Cell, CellLibrary, default_library
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists or bad queries."""
+
+
+@dataclass
+class Net:
+    """A single net: one driver pin, many load pins.
+
+    Attributes
+    ----------
+    name:
+        Unique net name.
+    driver:
+        Name of the driving gate (``None`` until connected).
+    loads:
+        Names of gates with an input pin on this net.
+    wire_cap:
+        Grounded wire capacitance in fF (filled by parasitic annotation).
+    wire_res:
+        Lumped wire resistance in kOhm (filled by parasitic annotation).
+    """
+
+    name: str
+    driver: Optional[str] = None
+    loads: List[str] = field(default_factory=list)
+    wire_cap: float = 0.0
+    wire_res: float = 0.0
+
+    @property
+    def fanout(self) -> int:
+        return len(self.loads)
+
+
+@dataclass
+class Gate:
+    """A cell instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    cell:
+        The library :class:`~repro.circuit.cells.Cell`.
+    inputs:
+        Input net names, positional (length == ``cell.num_inputs``).
+    output:
+        Output net name (``None`` for OUTPUT pseudo-cells).
+    """
+
+    name: str
+    cell: Cell
+    inputs: List[str] = field(default_factory=list)
+    output: Optional[str] = None
+
+    @property
+    def is_primary_input(self) -> bool:
+        return self.cell.is_source
+
+    @property
+    def is_primary_output(self) -> bool:
+        return self.cell.is_sink
+
+
+class Netlist:
+    """A combinational gate-level design.
+
+    Construction is incremental: create nets and gates, then call
+    :meth:`check` (or rely on consumers calling it) to validate structure.
+
+    >>> from repro.circuit.cells import default_library
+    >>> lib = default_library()
+    >>> nl = Netlist("tiny", lib)
+    >>> _ = nl.add_primary_input("a")
+    >>> _ = nl.add_primary_input("b")
+    >>> _ = nl.add_gate("u1", "NAND2_X1", ["a", "b"], "y")
+    >>> nl.add_primary_output("y")
+    >>> nl.check()
+    >>> [n for n in nl.topological_nets()]
+    ['a', 'b', 'y']
+    """
+
+    def __init__(self, name: str, library: Optional[CellLibrary] = None) -> None:
+        self.name = name
+        self.library = library if library is not None else default_library()
+        self.nets: Dict[str, Net] = {}
+        self.gates: Dict[str, Gate] = {}
+        self._primary_inputs: List[str] = []
+        self._primary_outputs: List[str] = []
+        self._topo_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_net(self, name: str) -> Net:
+        """Create a net; returns the existing one if already present."""
+        if name in self.nets:
+            return self.nets[name]
+        net = Net(name=name)
+        self.nets[name] = net
+        self._topo_cache = None
+        return net
+
+    def add_gate(
+        self,
+        name: str,
+        cell_name: str,
+        inputs: Sequence[str],
+        output: Optional[str],
+    ) -> Gate:
+        """Instantiate ``cell_name`` as gate ``name``.
+
+        Nets referenced by ``inputs``/``output`` are created on demand.
+        """
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        cell = self.library[cell_name]
+        if len(inputs) != cell.num_inputs:
+            raise NetlistError(
+                f"gate {name!r}: cell {cell_name} expects "
+                f"{cell.num_inputs} inputs, got {len(inputs)}"
+            )
+        gate = Gate(name=name, cell=cell, inputs=list(inputs), output=output)
+        for net_name in inputs:
+            net = self.add_net(net_name)
+            net.loads.append(name)
+        if output is not None:
+            net = self.add_net(output)
+            if net.driver is not None:
+                raise NetlistError(
+                    f"net {output!r} already driven by {net.driver!r}; "
+                    f"cannot also be driven by {name!r}"
+                )
+            net.driver = name
+        self.gates[name] = gate
+        self._topo_cache = None
+        return gate
+
+    def add_primary_input(self, net_name: str) -> Gate:
+        """Declare ``net_name`` as a primary input (adds an INPUT driver)."""
+        gate = self.add_gate(f"__pi_{net_name}", "__INPUT__", [], net_name)
+        self._primary_inputs.append(net_name)
+        return gate
+
+    def add_primary_output(self, net_name: str) -> Gate:
+        """Declare ``net_name`` as a primary output (adds an OUTPUT load)."""
+        gate = self.add_gate(f"__po_{net_name}", "__OUTPUT__", [net_name], None)
+        self._primary_outputs.append(net_name)
+        return gate
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def primary_inputs(self) -> Tuple[str, ...]:
+        return tuple(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> Tuple[str, ...]:
+        return tuple(self._primary_outputs)
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r}") from None
+
+    def driver_gate(self, net_name: str) -> Gate:
+        """The gate driving ``net_name`` (raises if undriven)."""
+        net = self.net(net_name)
+        if net.driver is None:
+            raise NetlistError(f"net {net_name!r} has no driver")
+        return self.gates[net.driver]
+
+    def load_gates(self, net_name: str) -> List[Gate]:
+        return [self.gates[g] for g in self.net(net_name).loads]
+
+    def fanin_nets(self, net_name: str) -> List[str]:
+        """Input nets of the gate driving ``net_name``."""
+        return list(self.driver_gate(net_name).inputs)
+
+    def fanout_nets(self, net_name: str) -> List[str]:
+        """Output nets of the gates loaded by ``net_name``."""
+        outs: List[str] = []
+        for gate in self.load_gates(net_name):
+            if gate.output is not None:
+                outs.append(gate.output)
+        return outs
+
+    def load_cap(self, net_name: str) -> float:
+        """Total capacitive load on a net: pin caps + wire cap (fF)."""
+        net = self.net(net_name)
+        pin_cap = sum(self.gates[g].cell.input_cap for g in net.loads)
+        return pin_cap + net.wire_cap
+
+    def holding_resistance(self, net_name: str) -> float:
+        """Victim holding resistance (kOhm): driver Rd + wire resistance.
+
+        This is the resistance seen by a coupling capacitor injecting noise
+        onto the net while its driver holds it — the central parameter of
+        the linear noise framework.
+        """
+        net = self.net(net_name)
+        gate = self.driver_gate(net_name)
+        return gate.cell.drive_res + net.wire_res
+
+    def gate_count(self, include_pseudo: bool = False) -> int:
+        if include_pseudo:
+            return len(self.gates)
+        return sum(
+            1
+            for g in self.gates.values()
+            if not (g.is_primary_input or g.is_primary_output)
+        )
+
+    def net_count(self) -> int:
+        return len(self.nets)
+
+    # ------------------------------------------------------------------
+    # ordering and validation
+    # ------------------------------------------------------------------
+    def topological_nets(self) -> Iterator[str]:
+        """Yield net names in topological order (drivers before loads).
+
+        Caches the order; any structural mutation invalidates the cache.
+        Raises :class:`NetlistError` on combinational cycles.
+        """
+        if self._topo_cache is None:
+            self._topo_cache = self._compute_topological_order()
+        return iter(self._topo_cache)
+
+    def _compute_topological_order(self) -> List[str]:
+        # Kahn's algorithm over nets; an edge u -> v exists when u is an
+        # input of the gate driving v.
+        indegree: Dict[str, int] = {}
+        for name, net in self.nets.items():
+            if net.driver is None:
+                raise NetlistError(f"net {name!r} has no driver")
+            indegree[name] = len(self.gates[net.driver].inputs)
+        frontier = sorted(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        seen = 0
+        from collections import deque
+
+        queue = deque(frontier)
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            seen += 1
+            for out in self.fanout_nets(name):
+                indegree[out] -= 1
+                if indegree[out] == 0:
+                    queue.append(out)
+        if seen != len(self.nets):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise NetlistError(
+                f"netlist {self.name!r} has a combinational cycle involving "
+                f"{stuck[:5]}{'...' if len(stuck) > 5 else ''}"
+            )
+        return order
+
+    def transitive_fanin(self, net_name: str) -> Iterable[str]:
+        """All nets in the transitive fanin cone of ``net_name`` (excl. itself)."""
+        seen: set = set()
+        stack = list(self.fanin_nets(net_name))
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(self.fanin_nets(n))
+        return seen
+
+    def check(self) -> None:
+        """Validate structure; raises :class:`NetlistError` on problems."""
+        for name, net in self.nets.items():
+            if net.driver is None:
+                raise NetlistError(f"net {name!r} is undriven")
+            if net.driver not in self.gates:
+                raise NetlistError(
+                    f"net {name!r} driven by unknown gate {net.driver!r}"
+                )
+        for name in self._primary_outputs:
+            if name not in self.nets:
+                raise NetlistError(f"primary output {name!r} is not a net")
+        # Force cycle detection.
+        list(self.topological_nets())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, gates={self.gate_count()}, "
+            f"nets={self.net_count()})"
+        )

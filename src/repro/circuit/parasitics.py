@@ -1,0 +1,65 @@
+"""Wire parasitic annotation.
+
+Converts synthetic wirelengths from a :class:`~repro.circuit.placement.Placement`
+into per-net lumped RC, mirroring what a commercial extractor feeds a noise
+tool.  We use 0.13 um-flavored per-um constants and a single lumped
+pi-model reduction (the linear noise framework in the paper likewise works
+on reduced RC, not on the full distributed network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .netlist import Netlist
+from .placement import Placement
+
+#: Wire resistance per um (kOhm/um) for a mid-layer 0.13 um wire.
+RES_KOHM_PER_UM = 0.0004
+#: Grounded wire capacitance per um (fF/um).  Deliberately on the high
+#: side relative to the lateral coupling constant so that per-coupling
+#: noise peaks stay in the realistic few-percent-of-Vdd range (see
+#: ``placement.COUPLING_FF_PER_UM``).
+CAP_FF_PER_UM = 0.08
+
+
+@dataclass(frozen=True)
+class ParasiticConstants:
+    """Per-um extraction constants, overridable for sensitivity studies."""
+
+    res_kohm_per_um: float = RES_KOHM_PER_UM
+    cap_ff_per_um: float = CAP_FF_PER_UM
+
+    def __post_init__(self) -> None:
+        if self.res_kohm_per_um < 0 or self.cap_ff_per_um < 0:
+            raise ValueError("parasitic constants must be non-negative")
+
+
+def annotate_parasitics(
+    netlist: Netlist,
+    placement: Placement,
+    constants: ParasiticConstants = ParasiticConstants(),
+) -> None:
+    """Fill ``wire_res``/``wire_cap`` on every net from its wirelength.
+
+    Mutates the netlist in place.  Safe to call repeatedly (idempotent:
+    values are recomputed from geometry, not accumulated).
+    """
+    for name, net in netlist.nets.items():
+        length = placement.wirelength(name)
+        net.wire_res = constants.res_kohm_per_um * length
+        net.wire_cap = constants.cap_ff_per_um * length
+
+
+def elmore_delay_ns(netlist: Netlist, net_name: str) -> float:
+    """First-order Elmore wire delay of a net (ns), for reporting.
+
+    Uses the lumped pi approximation: R_wire * (C_wire/2 + C_pins).
+    """
+    from .cells import RC_TO_NS
+
+    net = netlist.net(net_name)
+    pin_cap = sum(
+        netlist.gates[g].cell.input_cap for g in net.loads
+    )
+    return net.wire_res * (net.wire_cap / 2.0 + pin_cap) * RC_TO_NS

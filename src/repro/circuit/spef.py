@@ -1,0 +1,187 @@
+"""SPEF-lite parasitic exchange.
+
+Real flows hand coupling parasitics between tools as SPEF (IEEE 1481).
+This module reads and writes the subset the noise analysis consumes: per
+net a ``*D_NET`` section with a lumped ground capacitance, a lumped
+resistance, and explicit coupling capacitors to other nets.
+
+The emitted format is valid-enough SPEF that the structure survives a
+round trip through this reader; it is *not* a full IEEE 1481
+implementation (no pin sections, no reduced RC trees, no name map
+compression — every name is written literally).
+
+Example::
+
+    *SPEF "IEEE 1481-1998"
+    *DESIGN "i1"
+    *T_UNIT 1 NS
+    *C_UNIT 1 FF
+    *R_UNIT 1 KOHM
+
+    *D_NET n5 4.20
+    *RES
+    1 n5:1 n5:2 0.35
+    *CAP
+    1 n5:1 2.10
+    2 n5:1 n7:1 0.54
+    *END
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .coupling import CouplingGraph
+from .design import Design
+from .netlist import Netlist
+
+
+class SpefFormatError(ValueError):
+    """Raised on unparseable SPEF input."""
+
+
+_HEADER_RE = re.compile(r"^\*(\w+)\s*(.*)$")
+_DNET_RE = re.compile(r"^\*D_NET\s+(\S+)\s+([\d.eE+-]+)\s*$")
+
+
+def write_spef(design: Design) -> str:
+    """Serialize a design's parasitics (ground RC + coupling) to SPEF-lite."""
+    nl = design.netlist
+    lines: List[str] = [
+        '*SPEF "IEEE 1481-1998"',
+        f'*DESIGN "{nl.name}"',
+        "*T_UNIT 1 NS",
+        "*C_UNIT 1 FF",
+        "*R_UNIT 1 KOHM",
+        "",
+    ]
+    for name, net in nl.nets.items():
+        total_cap = net.wire_cap + design.coupling.coupling_cap_total(name)
+        lines.append(f"*D_NET {name} {total_cap:.6g}")
+        lines.append("*RES")
+        if net.wire_res > 0:
+            lines.append(f"1 {name}:1 {name}:2 {net.wire_res:.6g}")
+        lines.append("*CAP")
+        cap_index = 1
+        if net.wire_cap > 0:
+            lines.append(f"{cap_index} {name}:1 {net.wire_cap:.6g}")
+            cap_index += 1
+        for cc in design.coupling.aggressors_of(name):
+            # Emit each coupling once, from its canonical first terminal.
+            if cc.net_a != name:
+                continue
+            lines.append(
+                f"{cap_index} {name}:1 {cc.net_b}:1 {cc.cap:.6g}"
+            )
+            cap_index += 1
+        lines.append("*END")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def read_spef(
+    text: str, netlist: Netlist
+) -> Tuple[CouplingGraph, Dict[str, Tuple[float, float]]]:
+    """Parse SPEF-lite text against an existing netlist.
+
+    Returns
+    -------
+    (coupling, ground_rc)
+        The coupling graph and a map ``net -> (wire_cap_ff, wire_res_kohm)``.
+        Nets mentioned in the SPEF but absent from the netlist raise
+        :class:`SpefFormatError`; netlist nets missing from the SPEF keep
+        zero parasitics.
+    """
+    coupling = CouplingGraph(netlist)
+    ground_rc: Dict[str, Tuple[float, float]] = {}
+    current: Optional[str] = None
+    section: Optional[str] = None
+    seen_pairs: set = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            continue
+        dnet = _DNET_RE.match(line)
+        if dnet:
+            current = dnet.group(1)
+            if current not in netlist.nets:
+                raise SpefFormatError(
+                    f"line {lineno}: *D_NET references unknown net "
+                    f"{current!r}"
+                )
+            ground_rc.setdefault(current, (0.0, 0.0))
+            section = None
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            keyword = header.group(1)
+            if keyword in ("RES", "CAP"):
+                if current is None:
+                    raise SpefFormatError(
+                        f"line {lineno}: *{keyword} outside a *D_NET"
+                    )
+                section = keyword
+            elif keyword == "END":
+                current = None
+                section = None
+            # Header keywords (SPEF/DESIGN/T_UNIT/...) are accepted as-is.
+            continue
+        if section is None or current is None:
+            raise SpefFormatError(f"line {lineno}: unexpected data {line!r}")
+        fields = line.split()
+        if section == "RES":
+            if len(fields) != 4:
+                raise SpefFormatError(f"line {lineno}: malformed RES entry")
+            value = _number(fields[3], lineno)
+            cap, res = ground_rc[current]
+            ground_rc[current] = (cap, res + value)
+        else:  # CAP
+            if len(fields) == 3:
+                value = _number(fields[2], lineno)
+                cap, res = ground_rc[current]
+                ground_rc[current] = (cap + value, res)
+            elif len(fields) == 4:
+                other = fields[2].split(":")[0]
+                if other not in netlist.nets:
+                    raise SpefFormatError(
+                        f"line {lineno}: coupling to unknown net {other!r}"
+                    )
+                value = _number(fields[3], lineno)
+                pair = tuple(sorted((current, other)))
+                if pair in seen_pairs:
+                    # SPEF may list the cap from both terminals; the graph
+                    # model stores it once.
+                    continue
+                seen_pairs.add(pair)
+                coupling.add(current, other, value)
+            else:
+                raise SpefFormatError(f"line {lineno}: malformed CAP entry")
+    return coupling, ground_rc
+
+
+def load_spef_into(
+    design_netlist: Netlist, path: Union[str, Path]
+) -> CouplingGraph:
+    """Read a SPEF file and annotate the netlist's wire RC in place."""
+    text = Path(path).read_text()
+    coupling, ground_rc = read_spef(text, design_netlist)
+    for name, (cap, res) in ground_rc.items():
+        net = design_netlist.net(name)
+        net.wire_cap = cap
+        net.wire_res = res
+    return coupling
+
+
+def _number(token: str, lineno: int) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise SpefFormatError(
+            f"line {lineno}: expected a number, got {token!r}"
+        ) from None
+    if value < 0:
+        raise SpefFormatError(f"line {lineno}: negative parasitic {value}")
+    return value

@@ -1,0 +1,126 @@
+"""Structural lint for designs.
+
+The noise analysis assumes a clean combinational design; this module turns
+the usual real-world dirt (floating nets, absurd fanout, self-coupling,
+coupling to undriven nets) into actionable diagnostics instead of deep
+stack traces.  ``validate_design`` returns all findings; ``assert_valid``
+raises on the first error-severity finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .design import Design
+from .netlist import Netlist, NetlistError
+
+
+class Severity(Enum):
+    """Diagnostic severity: warnings don't block analysis, errors do."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+class ValidationError(NetlistError):
+    """Raised by :func:`assert_valid` when an error-level finding exists."""
+
+
+#: Fanout above this draws a warning (slew model degrades).
+FANOUT_WARNING_THRESHOLD = 16
+
+
+def validate_netlist(netlist: Netlist) -> List[Diagnostic]:
+    """Lint a netlist; returns findings (possibly empty)."""
+    findings: List[Diagnostic] = []
+    for name, net in netlist.nets.items():
+        if net.driver is None:
+            findings.append(
+                Diagnostic(Severity.ERROR, "undriven-net",
+                           f"net {name!r} has no driver")
+            )
+        if net.fanout == 0 and name not in netlist.primary_outputs:
+            findings.append(
+                Diagnostic(Severity.WARNING, "dangling-net",
+                           f"net {name!r} has no loads and is not a PO")
+            )
+        if net.fanout > FANOUT_WARNING_THRESHOLD:
+            findings.append(
+                Diagnostic(Severity.WARNING, "high-fanout",
+                           f"net {name!r} fans out to {net.fanout} loads")
+            )
+        if net.wire_cap < 0 or net.wire_res < 0:
+            findings.append(
+                Diagnostic(Severity.ERROR, "negative-parasitic",
+                           f"net {name!r} has negative wire RC")
+            )
+    if not netlist.primary_inputs:
+        findings.append(
+            Diagnostic(Severity.ERROR, "no-inputs", "design has no primary inputs")
+        )
+    if not netlist.primary_outputs:
+        findings.append(
+            Diagnostic(Severity.ERROR, "no-outputs", "design has no primary outputs")
+        )
+    try:
+        list(netlist.topological_nets())
+    except NetlistError as exc:
+        findings.append(Diagnostic(Severity.ERROR, "cycle", str(exc)))
+    return findings
+
+
+def validate_design(design: Design) -> List[Diagnostic]:
+    """Lint a full design (netlist plus coupling sanity)."""
+    findings = validate_netlist(design.netlist)
+    for cc in design.coupling:
+        for terminal in (cc.net_a, cc.net_b):
+            if terminal not in design.netlist.nets:
+                findings.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "coupling-unknown-net",
+                        f"coupling {cc.index} touches unknown net {terminal!r}",
+                    )
+                )
+        if cc.cap <= 0:
+            findings.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "coupling-nonpositive",
+                    f"coupling {cc.index} has cap {cc.cap} fF",
+                )
+            )
+        total = design.netlist.load_cap(cc.net_a) + design.netlist.load_cap(cc.net_b)
+        if total > 0 and cc.cap > 50.0 * total:
+            findings.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "coupling-dominates",
+                    f"coupling {cc.index} ({cc.cap:.1f} fF) dwarfs the "
+                    f"grounded load of its terminals",
+                )
+            )
+    return findings
+
+
+def assert_valid(design: Design) -> None:
+    """Raise :class:`ValidationError` if the design has any error finding."""
+    errors = [d for d in validate_design(design) if d.severity is Severity.ERROR]
+    if errors:
+        summary = "; ".join(str(d) for d in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise ValidationError(f"design {design.name!r} invalid: {summary}{more}")

@@ -1,0 +1,227 @@
+"""Structural Verilog (gate-primitive subset) reader and writer.
+
+Supports the netlist style ISCAS/EPFL benchmarks ship in: one module,
+``input``/``output``/``wire`` declarations, and Verilog gate primitives
+(``and, nand, or, nor, xor, xnor, not, buf``) with the output as the first
+terminal::
+
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire w1;
+      nand g1 (w1, a, b);
+      not  g2 (y, w1);
+    endmodule
+
+Not supported (raises :class:`VerilogFormatError`): behavioural code,
+``assign``, vectors/buses, parameters, hierarchy.  Wide primitives are
+decomposed into balanced 2-input trees the same way the ``.bench`` reader
+does.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .bench import _FUNCTION_CELLS, _TREE_INNER  # shared decomposition maps
+from .cells import CellLibrary, default_library
+from .netlist import Netlist
+
+
+class VerilogFormatError(ValueError):
+    """Raised on unsupported or malformed Verilog input."""
+
+
+_PRIMITIVES = {
+    "and": "AND",
+    "nand": "NAND",
+    "or": "OR",
+    "nor": "NOR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+    "not": "NOT",
+    "buf": "BUF",
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[\w$]+)\s*(?:\((?P<ports>[^)]*)\))?\s*;", re.S
+)
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(.+)$", re.S)
+_INST_RE = re.compile(
+    r"^(?P<prim>\w+)\s+(?P<inst>[\w$\[\]]+)?\s*\((?P<terms>[^)]*)\)$", re.S
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def parse_verilog(
+    text: str,
+    name: Optional[str] = None,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Parse structural Verilog into a :class:`~repro.circuit.netlist.Netlist`."""
+    lib = library if library is not None else default_library()
+    clean = _strip_comments(text)
+    module = _MODULE_RE.search(clean)
+    if not module:
+        raise VerilogFormatError("no module declaration found")
+    module_name = name if name is not None else module.group("name")
+    body = clean[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogFormatError("missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, str, List[str]]] = []
+
+    for raw in body.split(";"):
+        stmt = " ".join(raw.split())
+        if not stmt:
+            continue
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            kind, names = decl.group(1), decl.group(2)
+            if "[" in names:
+                raise VerilogFormatError(
+                    f"vector declarations are not supported: {stmt!r}"
+                )
+            ids = [n.strip() for n in names.split(",") if n.strip()]
+            if kind == "input":
+                inputs.extend(ids)
+            elif kind == "output":
+                outputs.extend(ids)
+            # wires need no action: nets appear on use
+            continue
+        inst = _INST_RE.match(stmt)
+        if inst:
+            prim = inst.group("prim").lower()
+            if prim not in _PRIMITIVES:
+                raise VerilogFormatError(
+                    f"unsupported construct or primitive {prim!r} in {stmt!r}"
+                )
+            terms = [t.strip() for t in inst.group("terms").split(",")]
+            if len(terms) < 2 or not all(terms):
+                raise VerilogFormatError(f"malformed terminals in {stmt!r}")
+            out, ins = terms[0], terms[1:]
+            inst_name = inst.group("inst") or f"u{len(gates)}"
+            gates.append((inst_name, _PRIMITIVES[prim], out, ins))
+            continue
+        raise VerilogFormatError(f"cannot parse statement {stmt!r}")
+
+    nl = Netlist(module_name, lib)
+    for net in inputs:
+        nl.add_primary_input(net)
+
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"__v{counter[0]}"
+
+    for inst_name, fn, out, ins in gates:
+        _emit_primitive(nl, inst_name, fn, out, ins, fresh)
+
+    for net in outputs:
+        if net not in nl.nets:
+            raise VerilogFormatError(
+                f"output {net!r} is never driven in the module"
+            )
+        nl.add_primary_output(net)
+    nl.check()
+    return nl
+
+
+def _emit_primitive(
+    nl: Netlist,
+    inst_name: str,
+    fn: str,
+    out: str,
+    ins: List[str],
+    fresh,
+) -> None:
+    one_in, two_in = _FUNCTION_CELLS[fn]
+    if len(ins) == 1:
+        cell = one_in if one_in is not None else "BUF_X1"
+        nl.add_gate(inst_name, cell, ins, out)
+        return
+    if two_in is None:
+        raise VerilogFormatError(f"{fn} cannot take {len(ins)} inputs")
+    if len(ins) == 2:
+        nl.add_gate(inst_name, two_in, ins, out)
+        return
+    inner_cell = _TREE_INNER[fn]
+    work = list(ins)
+    stage = 0
+    while len(work) > 2:
+        next_level: List[str] = []
+        it = iter(work)
+        for a in it:
+            b = next(it, None)
+            if b is None:
+                next_level.append(a)
+                continue
+            mid = fresh()
+            nl.add_gate(f"{inst_name}_t{stage}", inner_cell, [a, b], mid)
+            stage += 1
+            next_level.append(mid)
+        work = next_level
+    nl.add_gate(inst_name, two_in, work, out)
+
+
+def load_verilog(
+    path: Union[str, Path], library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Parse a structural Verilog file from disk."""
+    p = Path(path)
+    return parse_verilog(p.read_text(), library=library)
+
+
+_WRITE_PRIM: Dict[str, str] = {
+    "INV": "not",
+    "BUF": "buf",
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+    "AOI21": "nor",   # flattened to the dominant function, as in bench.py
+    "OAI21": "nand",
+}
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist to gate-primitive structural Verilog."""
+    pis = list(netlist.primary_inputs)
+    pos = list(netlist.primary_outputs)
+    ports = ", ".join(pis + pos)
+    lines = [f"module {netlist.name} ({ports});"]
+    if pis:
+        lines.append("  input " + ", ".join(pis) + ";")
+    if pos:
+        lines.append("  output " + ", ".join(pos) + ";")
+    internal = [
+        n for n in netlist.nets if n not in pis and n not in pos
+    ]
+    if internal:
+        lines.append("  wire " + ", ".join(internal) + ";")
+    for gate in netlist.gates.values():
+        if gate.is_primary_input or gate.is_primary_output:
+            continue
+        prim = _WRITE_PRIM.get(gate.cell.function)
+        if prim is None:
+            raise VerilogFormatError(
+                f"cell function {gate.cell.function!r} has no primitive form"
+            )
+        terms = ", ".join([gate.output] + list(gate.inputs))
+        lines.append(f"  {prim} {gate.name} ({terms});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

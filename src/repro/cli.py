@@ -1,0 +1,184 @@
+"""Command-line entry point: ``repro-topk``.
+
+Examples
+--------
+Top-5 elimination set of the i1 stand-in benchmark::
+
+    repro-topk --benchmark i1 --k 5 --mode elimination
+
+Top-3 addition set of a user circuit in ISCAS-89 format::
+
+    repro-topk --bench-file my_circuit.bench --k 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .api import analyze
+from .circuit.bench import load_bench
+from .circuit.design import Design
+from .circuit.generator import PAPER_BENCHMARKS, make_paper_benchmark, random_design
+from .circuit.parasitics import annotate_parasitics
+from .circuit.placement import Placement, extract_coupling
+from .core.engine import ADDITION, ELIMINATION, TopKConfig
+
+
+def _design_from_args(args: argparse.Namespace) -> Design:
+    if args.benchmark:
+        return make_paper_benchmark(args.benchmark, seed=args.seed)
+    if args.bench_file:
+        netlist = load_bench(args.bench_file)
+        placement = Placement(netlist, seed=args.seed or 0)
+        annotate_parasitics(netlist, placement)
+        coupling = extract_coupling(placement, seed=args.seed or 0)
+        return Design(netlist=netlist, coupling=coupling, placement=placement)
+    return random_design(
+        "random", n_gates=args.gates, seed=args.seed or 0
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description=(
+            "Top-k aggressor sets in delay-noise analysis "
+            "(reproduction of Gandikota et al., DAC 2007)"
+        ),
+    )
+    src = parser.add_mutually_exclusive_group()
+    src.add_argument(
+        "--benchmark",
+        choices=sorted(PAPER_BENCHMARKS, key=lambda n: int(n[1:])),
+        help="use a stand-in for one of the paper's benchmarks",
+    )
+    src.add_argument(
+        "--bench-file", help="load a circuit from an ISCAS-89 .bench file"
+    )
+    src.add_argument(
+        "--gates",
+        type=int,
+        default=60,
+        help="generate a random design with this many gates (default)",
+    )
+    parser.add_argument("--k", type=int, default=5, help="set size (default 5)")
+    parser.add_argument(
+        "--mode",
+        choices=(ADDITION, ELIMINATION),
+        default=ELIMINATION,
+        help="which top-k flavor to compute (default elimination)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="generator seed")
+    parser.add_argument(
+        "--grid-points", type=int, default=256, help="envelope grid resolution"
+    )
+    parser.add_argument(
+        "--max-sets",
+        type=int,
+        default=12,
+        help="beam cap per irredundant list (0 = exact dominance-only)",
+    )
+    parser.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the exact re-evaluation of the selected set",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a per-coupling marginal/solo/synergy breakdown",
+    )
+    parser.add_argument(
+        "--paths",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the N worst timing paths",
+    )
+    parser.add_argument(
+        "--functional",
+        action="store_true",
+        help="also run the functional (glitch) noise check",
+    )
+    parser.add_argument(
+        "--hotspots",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the N noisiest victim nets",
+    )
+    parser.add_argument(
+        "--signoff-period",
+        type=float,
+        default=None,
+        metavar="NS",
+        help=(
+            "run noise signoff against this clock period: find the "
+            "minimum fix set clearing all noise-induced violations"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    design = _design_from_args(args)
+    config = TopKConfig(
+        grid_points=args.grid_points,
+        max_sets_per_cardinality=args.max_sets if args.max_sets > 0 else None,
+        evaluate_with_oracle=not args.no_oracle,
+    )
+    stats = design.stats()
+    print(
+        f"design {stats.name}: {stats.gates} gates, {stats.nets} nets, "
+        f"{stats.coupling_caps} coupling caps"
+    )
+    result = analyze(design, k=args.k, mode=args.mode, config=config)
+    print(result.summary())
+
+    if args.explain and result.couplings:
+        from .core.explain import explain_set
+
+        print("\nset breakdown (exact analysis):")
+        print(explain_set(design, result).summary())
+
+    if args.paths > 0:
+        from .timing.paths import path_report
+        from .timing.sta import run_sta
+
+        print(f"\n{args.paths} worst paths (noiseless):")
+        print(path_report(run_sta(design.netlist), n=args.paths))
+
+    if args.hotspots > 0:
+        from .noise.analysis import analyze_noise
+        from .noise.report import hotspot_table
+
+        print(f"\n{args.hotspots} noisiest nets:")
+        print(
+            hotspot_table(design, analyze_noise(design), count=args.hotspots)
+        )
+
+    if args.functional:
+        from .noise.functional import analyze_functional_noise
+
+        print()
+        print(analyze_functional_noise(design).summary())
+
+    if args.signoff_period is not None:
+        from .core.signoff import minimum_fix_set
+        from .timing.constraints import Constraints
+
+        print()
+        signoff = minimum_fix_set(
+            design,
+            Constraints(clock_period=args.signoff_period),
+            config=config,
+        )
+        print(signoff.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Dominance, dominance intervals, and irredundant-list reduction.
+
+Implements the paper's Section 3.2:
+
+* **Dominance** — envelope A dominates envelope B on a victim when A
+  pointwise encapsulates B *within the dominance interval*.  By Theorem 1,
+  a dominated set can be discarded: any completion of the dominated set is
+  itself dominated by the same completion of the dominator.
+* **Dominance interval** — ``[t50, t50 + upper_bound]``: noise that dies
+  before the victim's noiseless t50 cannot delay it, and no alignment can
+  push the noisy t50 past the all-aggressors/infinite-window bound.
+* **Irredundant list** — the non-dominated candidates of one cardinality.
+
+The reduction is the paper's pruning plus an optional beam cap
+(``max_sets``) documented in DESIGN.md as an engineering knob for very
+large pure-Python sweeps; ``max_sets=None`` reproduces the exact algorithm.
+
+Scoring (delay noise per candidate) is implemented here as a batched numpy
+kernel since it runs once per candidate per victim per cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..noise.envelope import ENCAPSULATION_TOL
+from ..timing.waveform import Grid, rising_ramp
+from .aggressor_set import EnvelopeSet
+
+
+@dataclass(frozen=True)
+class DominanceInterval:
+    """The time interval over which envelope encapsulation must hold."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"inverted dominance interval [{self.lo}, {self.hi}]")
+
+    def mask(self, grid: Grid) -> np.ndarray:
+        t = grid.times
+        return (t >= self.lo) & (t <= self.hi)
+
+
+def batch_delay_noise(
+    t50: float,
+    slew: float,
+    env_matrix: np.ndarray,
+    grid: Grid,
+) -> np.ndarray:
+    """Delay noise for many combined envelopes at once.
+
+    Parameters
+    ----------
+    t50, slew:
+        Victim latest transition (noiseless reference).
+    env_matrix:
+        ``(m, grid.n)`` stack of combined envelopes.
+    grid:
+        Shared victim grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m,)`` delay-noise values (ns, >= 0), clamped to the grid end.
+    """
+    if env_matrix.ndim != 2 or env_matrix.shape[1] != grid.n:
+        raise ValueError(
+            f"env_matrix must be (m, {grid.n}), got {env_matrix.shape}"
+        )
+    times = grid.times
+    ramp = rising_ramp(t50, slew)(times)
+    noisy = ramp[None, :] - env_matrix
+    below = noisy < 0.5
+    # Rising crossing in segment j: below[j] and not below[j+1].
+    cross = below[:, :-1] & ~below[:, 1:]
+    any_cross = cross.any(axis=1)
+    # Index of the LAST crossing segment per row.
+    last_idx = grid.n - 2 - np.argmax(cross[:, ::-1], axis=1)
+    rows = np.arange(env_matrix.shape[0])
+    v0 = noisy[rows, last_idx]
+    v1 = noisy[rows, last_idx + 1]
+    denom = np.where(np.abs(v1 - v0) < 1e-15, 1.0, v1 - v0)
+    frac = np.clip((0.5 - v0) / denom, 0.0, 1.0)
+    t_cross = times[last_idx] + frac * grid.dt
+    dn = np.maximum(0.0, t_cross - t50)
+    # Rows with no crossing: either the waveform stayed >= 0.5 (no
+    # observable slowdown) or stayed < 0.5 (clamp to grid horizon).
+    ends_high = noisy[:, -1] >= 0.5
+    dn = np.where(any_cross, dn, np.where(ends_high, 0.0, times[-1] - t50))
+    return np.maximum(dn, 0.0)
+
+
+def reduce_irredundant(
+    candidates: Sequence[EnvelopeSet],
+    interval: DominanceInterval,
+    grid: Grid,
+    maximize: bool,
+    max_sets: Optional[int] = None,
+) -> Tuple[List[EnvelopeSet], int]:
+    """Keep the non-dominated candidates (the irredundant list).
+
+    Candidates must already carry their ``score``.  A candidate is dropped
+    when an already-kept candidate's envelope encapsulates it over the
+    dominance interval.  Processing in best-score-first order makes the
+    scan correct for building a *pareto prefix*: a kept set can never be
+    dominated by a later (worse-scoring) one, because the dominator of a
+    set always has a score at least as good.
+
+    Parameters
+    ----------
+    maximize:
+        True in addition mode (larger delay noise is better), False in
+        elimination mode (smaller remaining delay noise is better — which
+        still corresponds to the *larger* envelope, so the encapsulation
+        direction is identical; only the sort key flips).
+    max_sets:
+        Optional beam cap applied after dominance (None = exact).
+
+    Returns
+    -------
+    (kept, dominated_count)
+    """
+    if not candidates:
+        return [], 0
+    order = sorted(
+        candidates, key=lambda c: (-c.score if maximize else c.score)
+    )
+    mask = interval.mask(grid)
+    if not mask.any():
+        # Degenerate interval outside the grid: nothing distinguishes
+        # candidates by dominance; fall back to score order.
+        kept = order if max_sets is None else order[:max_sets]
+        return list(kept), 0
+    kept: List[EnvelopeSet] = []
+    dominated = 0
+    limit = max_sets if max_sets is not None else len(order)
+    # Kept envelopes live in one preallocated matrix so each dominance
+    # test is a single vectorized comparison against all of them.
+    kept_matrix = np.empty((min(limit, len(order)), int(mask.sum())))
+    count = 0
+    for cand in order:
+        if count >= limit:
+            break
+        cand_masked = cand.env[mask]
+        if count and bool(
+            np.any(
+                np.all(
+                    kept_matrix[:count] >= cand_masked - ENCAPSULATION_TOL,
+                    axis=1,
+                )
+            )
+        ):
+            dominated += 1
+            continue
+        kept_matrix[count] = cand_masked
+        count += 1
+        kept.append(cand)
+    return kept, dominated
+
+
+def envelope_dominates(
+    a: EnvelopeSet,
+    b: EnvelopeSet,
+    interval: DominanceInterval,
+    grid: Grid,
+) -> bool:
+    """Direct pairwise dominance test (used by tests and diagnostics)."""
+    mask = interval.mask(grid)
+    if not mask.any():
+        return True
+    return bool(np.all(a.env[mask] >= b.env[mask] - ENCAPSULATION_TOL))

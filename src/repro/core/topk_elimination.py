@@ -1,0 +1,104 @@
+"""Top-k aggressors *elimination* set (paper Section 3.4).
+
+Given the fully noisy analysis, find the k aggressor-victim couplings
+whose removal (shielding, spacing, buffering) reduces the circuit delay by
+the maximum amount — the "which 10 couplings should I fix" question the
+paper motivates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional
+
+from ..circuit.design import Design
+from ..noise.analysis import analyze_noise
+from .engine import ELIMINATION, EngineSolution, TopKConfig, TopKEngine
+from .report import SweepPoint, TopKResult, coupling_details
+
+
+def top_k_elimination_set(
+    design: Design,
+    k: int,
+    config: Optional[TopKConfig] = None,
+    engine: Optional[TopKEngine] = None,
+) -> TopKResult:
+    """Compute the top-k elimination set of a design.
+
+    Parameters mirror :func:`~repro.core.topk_addition.top_k_addition_set`;
+    the reported ``delay`` is the circuit delay *after* removing the set
+    from the design (evaluated by the exact iterative analysis).
+    """
+    cfg = config if config is not None else TopKConfig()
+    t0 = time.perf_counter()
+    if engine is None:
+        engine = TopKEngine(design, ELIMINATION, cfg)
+    solution = engine.solve(k)
+    runtime = time.perf_counter() - t0
+    return _result_from_solution(design, engine, solution, runtime)
+
+
+def top_k_elimination_sweep(
+    design: Design,
+    ks: Iterable[int],
+    config: Optional[TopKConfig] = None,
+) -> List[SweepPoint]:
+    """Delay-vs-k series for the elimination set (Figure 10 / Table 2b)."""
+    cfg = config if config is not None else TopKConfig()
+    t0 = time.perf_counter()
+    engine = TopKEngine(design, ELIMINATION, cfg)
+    points: List[SweepPoint] = []
+    for k in sorted(set(int(k) for k in ks)):
+        solution = engine.solve(k)
+        runtime = time.perf_counter() - t0
+        result = _result_from_solution(design, engine, solution, runtime)
+        fallback = (
+            result.all_aggressor_delay
+            if result.all_aggressor_delay is not None
+            else result.nominal_delay
+        )
+        points.append(
+            SweepPoint(
+                k=k,
+                delay=result.delay if result.delay is not None else fallback,
+                runtime_s=runtime,
+                result=result,
+            )
+        )
+    return points
+
+
+def _result_from_solution(
+    design: Design,
+    engine: TopKEngine,
+    solution: EngineSolution,
+    runtime: float,
+) -> TopKResult:
+    chosen = solution.best.couplings if solution.best else frozenset()
+    delay: Optional[float] = None
+    if engine.config.evaluate_with_oracle:
+        pool = solution.finalists[: engine.config.oracle_rescore_top]
+        best_delay: Optional[float] = None
+        for cand in pool or [None]:
+            couplings = cand.couplings if cand is not None else frozenset()
+            view = design.coupling.without(frozenset(couplings))
+            d = analyze_noise(
+                design, coupling=view, config=engine.config.noise,
+                graph=engine.graph,
+            ).circuit_delay()
+            if best_delay is None or d < best_delay:
+                best_delay = d
+                chosen = couplings
+        delay = best_delay
+    return TopKResult(
+        mode=ELIMINATION,
+        requested_k=solution.k,
+        couplings=frozenset(chosen),
+        details=coupling_details(design, frozenset(chosen)),
+        delay=delay,
+        estimated_delay=solution.estimated_delay(),
+        nominal_delay=solution.nominal_delay,
+        all_aggressor_delay=solution.all_aggressor_delay,
+        runtime_s=runtime,
+        stats=engine.stats,
+    )

@@ -1,0 +1,23 @@
+"""Gate-level logic simulation and switching-activity analysis.
+
+Supports simulation-based false-aggressor filtering: couplings whose
+terminals never toggle together cannot contribute delay noise.
+"""
+
+from .activity import (
+    ActivityReport,
+    derive_exclusions,
+    measure_activity,
+    toggles,
+)
+from .sim import SimulationError, simulate, truth_assignment
+
+__all__ = [
+    "ActivityReport",
+    "SimulationError",
+    "derive_exclusions",
+    "measure_activity",
+    "simulate",
+    "toggles",
+    "truth_assignment",
+]

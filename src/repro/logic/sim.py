@@ -1,0 +1,117 @@
+"""Vectorized gate-level logic simulation.
+
+Supports the false-aggressor analysis the paper cites ([10], [11]): before
+trusting a coupling to produce delay noise, check whether the aggressor
+can actually toggle — and toggle in the same cycle as the victim.  This
+module evaluates the netlist's logic functions over batches of random
+input vectors (numpy boolean matrices, one row per vector), which the
+activity analysis (:mod:`repro.logic.activity`) turns into toggle
+statistics and logical exclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Gate, Netlist
+
+
+class SimulationError(RuntimeError):
+    """Raised for unsupported cells or malformed stimulus."""
+
+
+def _eval_gate(gate: Gate, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate one gate's logic function over vectorized inputs."""
+    fn = gate.cell.function
+    ins = [inputs[name] for name in gate.inputs]
+    if fn == "INV":
+        return ~ins[0]
+    if fn == "BUF":
+        return ins[0].copy()
+    if fn == "AND":
+        return np.logical_and.reduce(ins)
+    if fn == "NAND":
+        return ~np.logical_and.reduce(ins)
+    if fn == "OR":
+        return np.logical_or.reduce(ins)
+    if fn == "NOR":
+        return ~np.logical_or.reduce(ins)
+    if fn == "XOR":
+        return np.logical_xor.reduce(ins)
+    if fn == "XNOR":
+        return ~np.logical_xor.reduce(ins)
+    if fn == "AOI21":
+        # out = !((A1 & A2) | B)
+        return ~((ins[0] & ins[1]) | ins[2])
+    if fn == "OAI21":
+        # out = !((A1 | A2) & B)
+        return ~((ins[0] | ins[1]) & ins[2])
+    raise SimulationError(
+        f"gate {gate.name!r}: cannot simulate function {fn!r}"
+    )
+
+
+def simulate(
+    netlist: Netlist,
+    stimulus: Optional[Dict[str, np.ndarray]] = None,
+    n_vectors: int = 256,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Evaluate every net over a batch of input vectors.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational design.
+    stimulus:
+        Optional map ``primary input -> bool array``; all arrays must have
+        equal length.  Missing inputs (or the whole map) are filled with
+        uniformly random vectors.
+    n_vectors:
+        Batch size when stimulus is generated.
+    seed:
+        RNG seed for generated stimulus.
+
+    Returns
+    -------
+    dict
+        ``net name -> bool array`` of length ``n_vectors`` for every net.
+    """
+    rng = np.random.default_rng(seed)
+    if stimulus:
+        lengths = {len(v) for v in stimulus.values()}
+        if len(lengths) > 1:
+            raise SimulationError(
+                f"stimulus arrays have mixed lengths {sorted(lengths)}"
+            )
+        n_vectors = lengths.pop()
+
+    values: Dict[str, np.ndarray] = {}
+    for net_name in netlist.topological_nets():
+        gate = netlist.driver_gate(net_name)
+        if gate.is_primary_input:
+            if stimulus and net_name in stimulus:
+                vec = np.asarray(stimulus[net_name], dtype=bool)
+            else:
+                vec = rng.random(n_vectors) < 0.5
+            values[net_name] = vec
+        else:
+            values[net_name] = _eval_gate(gate, values)
+    return values
+
+
+def truth_assignment(
+    netlist: Netlist, assignment: Dict[str, bool]
+) -> Dict[str, bool]:
+    """Evaluate a single input assignment (convenience for tests).
+
+    Unspecified primary inputs default to 0.
+    """
+    stimulus = {
+        pi: np.array([assignment.get(pi, False)])
+        for pi in netlist.primary_inputs
+    }
+    values = simulate(netlist, stimulus=stimulus)
+    return {net: bool(vec[0]) for net, vec in values.items()}

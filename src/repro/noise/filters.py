@@ -1,0 +1,82 @@
+"""False-aggressor filtering.
+
+Not every coupling produces delay noise: an aggressor whose envelope cannot
+reach the victim's 50% crossing, whose window cannot overlap the victim's,
+or that is logically excluded from switching together with the victim is a
+*false aggressor* (paper Section 1 references [10], [11]).  This module
+implements the timing filters exactly and exposes a pluggable hook for
+logical exclusions (full temporofunctional analysis is out of the paper's
+scope; the hook lets users feed externally derived exclusion pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from ..timing.windows import TimingWindow
+from .envelope import NoiseEnvelope
+
+
+@dataclass
+class LogicalExclusions:
+    """User-provided pairs of nets that can never switch simultaneously.
+
+    The pair order is irrelevant.  ``excludes(a, b)`` is True when the two
+    nets are declared mutually exclusive, in which case neither can be a
+    delay-noise aggressor of the other.
+    """
+
+    pairs: Set[FrozenSet[str]] = field(default_factory=set)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, str]]) -> "LogicalExclusions":
+        out = cls()
+        for a, b in pairs:
+            out.add(a, b)
+        return out
+
+    def add(self, net_a: str, net_b: str) -> None:
+        if net_a == net_b:
+            raise ValueError(f"net {net_a!r} cannot exclude itself")
+        self.pairs.add(frozenset((net_a, net_b)))
+
+    def excludes(self, net_a: str, net_b: str) -> bool:
+        return frozenset((net_a, net_b)) in self.pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def windows_can_interact(
+    victim_window: TimingWindow,
+    aggressor_window: TimingWindow,
+    slack: float = 0.0,
+) -> bool:
+    """Timing-window overlap test with optional pessimism ``slack``.
+
+    Delay noise needs aggressor and victim to switch at almost the same
+    time; disjoint windows (beyond the slack) make the aggressor false.
+    The aggressor can also act *before* the victim's EAT without producing
+    delay noise, so only the late side matters — we test the standard
+    symmetric overlap padded by slack, which is conservative.
+    """
+    return victim_window.overlaps(aggressor_window, slack=slack)
+
+
+def envelope_can_delay(envelope: NoiseEnvelope, victim_t50: float) -> bool:
+    """False when the envelope dies out before the victim's t50.
+
+    This is the paper's dominance-interval lower-bound argument applied as
+    a filter: "a noise envelope that ends before the t50 will not induce
+    any delay noise".
+    """
+    return envelope.t_end > victim_t50
+
+
+def filter_envelopes(
+    envelopes: Iterable[NoiseEnvelope],
+    victim_t50: float,
+) -> List[NoiseEnvelope]:
+    """Drop envelopes that provably cannot delay the victim."""
+    return [e for e in envelopes if envelope_can_delay(e, victim_t50)]

@@ -1,0 +1,228 @@
+"""Functional (glitch) noise analysis.
+
+Delay noise is one half of static noise analysis; the other half — the
+one the field started with ([1], [2] in the paper) — is *functional*
+noise: coupling onto a **quiet** victim can produce a glitch that, if it
+exceeds the receiving gate's noise margin, propagates as a spurious logic
+event.  Tools like ClariNet ([12]) check both; this module adds the
+functional half on top of the same pulse/envelope substrate:
+
+* per net, the worst glitch is the peak of the combined noise envelope
+  over the victim's *quiet* interval (we conservatively use the whole
+  window span of its aggressors);
+* each receiving gate tolerates glitches up to its input noise margin
+  (modeled as a fraction of Vdd, lower for high-gain gates);
+* glitches above the *propagation threshold* travel through receivers
+  attenuated by a per-stage gain factor, so a strong glitch deep in a
+  logic cone can still reach a latch boundary.
+
+Everything is normalized to Vdd = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..circuit.coupling import CouplingGraph, CouplingView
+from ..circuit.design import Design
+from ..circuit.netlist import Netlist
+from ..timing.graph import TimingGraph
+from ..timing.sta import TimingResult, run_sta
+from .pulse import pulse_for_coupling
+
+
+class FunctionalNoiseError(ValueError):
+    """Raised for invalid functional-noise configurations."""
+
+
+#: Default input noise margin as a fraction of Vdd.  Receivers reject
+#: glitches below this outright.
+DEFAULT_NOISE_MARGIN = 0.35
+
+#: Per-function margin adjustments: high-gain inverting gates snap earlier
+#: (smaller margin), weak complex gates are more forgiving.
+MARGIN_BY_FUNCTION: Dict[str, float] = {
+    "INV": 0.40,
+    "BUF": 0.45,
+    "NAND": 0.38,
+    "NOR": 0.33,
+    "AND": 0.42,
+    "OR": 0.40,
+    "XOR": 0.30,
+    "XNOR": 0.30,
+    "AOI21": 0.32,
+    "OAI21": 0.32,
+    "OUTPUT": 0.35,
+}
+
+#: Fraction of an above-threshold glitch that survives one gate stage.
+PROPAGATION_GAIN = 0.6
+
+
+@dataclass(frozen=True)
+class FunctionalNoiseConfig:
+    """Knobs of the glitch analysis."""
+
+    propagation_gain: float = PROPAGATION_GAIN
+    default_margin: float = DEFAULT_NOISE_MARGIN
+    margin_by_function: Dict[str, float] = field(
+        default_factory=lambda: dict(MARGIN_BY_FUNCTION)
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.propagation_gain < 1.0:
+            raise FunctionalNoiseError(
+                f"propagation gain must be in [0, 1), got "
+                f"{self.propagation_gain}"
+            )
+        if not 0.0 < self.default_margin < 1.0:
+            raise FunctionalNoiseError(
+                f"default margin must be in (0, 1), got {self.default_margin}"
+            )
+
+    def margin(self, function: str) -> float:
+        return self.margin_by_function.get(function, self.default_margin)
+
+
+@dataclass(frozen=True)
+class GlitchRecord:
+    """Functional-noise state of one net."""
+
+    net: str
+    injected_peak: float
+    propagated_peak: float
+    total_peak: float
+    margin: float
+
+    @property
+    def violated(self) -> bool:
+        return self.total_peak > self.margin
+
+    @property
+    def headroom(self) -> float:
+        """Margin minus glitch (negative = violation)."""
+        return self.margin - self.total_peak
+
+
+@dataclass
+class FunctionalNoiseResult:
+    """Design-wide glitch report."""
+
+    records: Dict[str, GlitchRecord]
+
+    def violations(self) -> List[GlitchRecord]:
+        out = [r for r in self.records.values() if r.violated]
+        out.sort(key=lambda r: r.headroom)
+        return out
+
+    def worst(self, count: int = 10) -> List[GlitchRecord]:
+        out = sorted(self.records.values(), key=lambda r: r.headroom)
+        return out[:count]
+
+    def summary(self) -> str:
+        bad = self.violations()
+        lines = [
+            f"functional noise: {len(bad)} violation(s) over "
+            f"{len(self.records)} nets"
+        ]
+        for r in bad[:10]:
+            lines.append(
+                f"  {r.net}: glitch {r.total_peak:.3f} Vdd "
+                f"(injected {r.injected_peak:.3f} + propagated "
+                f"{r.propagated_peak:.3f}) vs margin {r.margin:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _receiver_margin(
+    netlist: Netlist, net: str, config: FunctionalNoiseConfig
+) -> float:
+    """Weakest (smallest) noise margin among the net's receivers."""
+    margins = [
+        config.margin(gate.cell.function)
+        for gate in netlist.load_gates(net)
+    ]
+    if not margins:
+        return config.default_margin
+    return min(margins)
+
+
+def analyze_functional_noise(
+    design: Design,
+    coupling: Optional[Union[CouplingGraph, CouplingView]] = None,
+    timing: Optional[TimingResult] = None,
+    config: FunctionalNoiseConfig = FunctionalNoiseConfig(),
+) -> FunctionalNoiseResult:
+    """Glitch analysis over the whole design.
+
+    For each net the injected glitch is the sum of its aggressors' pulse
+    peaks (the DC-pessimistic combination: all aggressors aligned); the
+    propagated glitch is the strongest above-margin glitch among the
+    driver's input nets attenuated by one stage gain.  Peaks are clamped
+    to Vdd.
+    """
+    netlist = design.netlist
+    if coupling is None:
+        coupling = design.coupling
+    graph = TimingGraph.from_netlist(netlist)
+    if timing is None:
+        timing = run_sta(netlist, graph)
+
+    records: Dict[str, GlitchRecord] = {}
+    propagated_peaks: Dict[str, float] = {}
+    for victim in graph.topo_order:
+        injected = 0.0
+        for cc in coupling.aggressors_of(victim):
+            aggressor = cc.other(victim)
+            pulse = pulse_for_coupling(
+                netlist, cc, victim, timing.slew_late(aggressor)
+            )
+            injected += pulse.peak
+        injected = min(injected, 1.0)
+
+        driver = netlist.driver_gate(victim)
+        propagated = 0.0
+        if not driver.is_primary_input:
+            for u in driver.inputs:
+                upstream = records[u]
+                if upstream.total_peak > upstream.margin:
+                    propagated = max(
+                        propagated,
+                        config.propagation_gain * upstream.total_peak,
+                    )
+        total = min(injected + propagated, 1.0)
+        records[victim] = GlitchRecord(
+            net=victim,
+            injected_peak=injected,
+            propagated_peak=propagated,
+            total_peak=total,
+            margin=_receiver_margin(netlist, victim, config),
+        )
+        propagated_peaks[victim] = propagated
+    return FunctionalNoiseResult(records=records)
+
+
+def glitch_cleanup_candidates(
+    design: Design,
+    result: FunctionalNoiseResult,
+    count: int = 10,
+) -> List[Tuple[int, str, float]]:
+    """Couplings to fix first for functional noise, strongest first.
+
+    Returns (coupling index, violated net, pulse-peak contribution).
+    A simple greedy ranking — functional noise is additive in peaks, so
+    unlike delay noise (the paper's problem), greedy is optimal here and a
+    useful contrast to the top-k machinery.
+    """
+    timing = run_sta(design.netlist)
+    ranked: List[Tuple[int, str, float]] = []
+    for record in result.violations():
+        for cc in design.coupling.aggressors_of(record.net):
+            aggressor = cc.other(record.net)
+            pulse = pulse_for_coupling(
+                design.netlist, cc, record.net, timing.slew_late(aggressor)
+            )
+            ranked.append((cc.index, record.net, pulse.peak))
+    ranked.sort(key=lambda t: -t[2])
+    return ranked[:count]

@@ -1,0 +1,143 @@
+"""Coupled-RC noise pulse computation.
+
+For one coupling capacitor Cc between an aggressor and a victim held by its
+driver, the injected noise pulse (paper Figure 2) is characterized by a
+peak voltage and a decay constant.  We use the classic linear-framework
+closed form for a saturated-ramp aggressor driving a highpass RC:
+
+* time constant ``tau = Rv * (Cv + Cc)`` with Rv the victim *holding*
+  resistance (driver Thevenin resistance + wire resistance) and Cv the
+  victim's grounded capacitance;
+* peak (normalized to Vdd)::
+
+      Vp = (Cc / (Cc + Cv)) * (tau/tr) * (1 - exp(-tr/tau))
+
+  which approaches the charge-sharing bound ``Cc/(Cc+Cv)`` for fast
+  aggressors (tr << tau) and the Devgan bound ``Rv*Cc/tr`` for slow ones;
+* shape: triangular — rising for the aggressor transition time ``tr``,
+  decaying for ``DECAY_TAUS * tau`` afterwards.
+
+Everything is normalized: voltages in fractions of Vdd, times in ns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.cells import RC_TO_NS
+from ..circuit.coupling import CouplingCap
+from ..circuit.netlist import Netlist
+from ..timing.waveform import Waveform, triangle
+
+#: The pulse tail is truncated after this many time constants.
+DECAY_TAUS = 3.0
+
+#: Numerical floor for slews and time constants (ns) to avoid division blowup.
+_EPS_NS = 1e-6
+
+
+class PulseError(ValueError):
+    """Raised for unphysical pulse parameters."""
+
+
+@dataclass(frozen=True)
+class NoisePulse:
+    """A single aggressor-switching noise pulse on a victim.
+
+    Attributes
+    ----------
+    peak:
+        Peak voltage, normalized to Vdd (0..1).
+    rise:
+        Time from pulse start to peak, ns (== aggressor transition time).
+    decay:
+        Time from peak back to zero, ns.
+    lead:
+        Offset from the aggressor's t50 back to the pulse start, ns (the
+        pulse starts when the aggressor transition starts, i.e. half a slew
+        before its t50).
+    """
+
+    peak: float
+    rise: float
+    decay: float
+    lead: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.peak <= 1.0):
+            raise PulseError(f"peak {self.peak} outside [0, 1]")
+        if self.rise < 0 or self.decay < 0:
+            raise PulseError("pulse rise/decay must be >= 0")
+
+    @property
+    def width(self) -> float:
+        """Total base width of the pulse, ns."""
+        return self.rise + self.decay
+
+    def waveform(self, aggressor_t50: float) -> Waveform:
+        """The pulse as a :class:`Waveform`, anchored at an aggressor t50."""
+        t_start = aggressor_t50 - self.lead
+        return triangle(
+            t_start, t_start + self.rise, t_start + self.rise + self.decay,
+            self.peak,
+        )
+
+
+def pulse_parameters(
+    victim_holding_res: float,
+    victim_ground_cap: float,
+    coupling_cap: float,
+    aggressor_slew: float,
+) -> NoisePulse:
+    """Closed-form pulse for one coupling.
+
+    Parameters
+    ----------
+    victim_holding_res:
+        Rv in kOhm (driver Thevenin + wire resistance).
+    victim_ground_cap:
+        Cv in fF (pins + grounded wire cap).
+    coupling_cap:
+        Cc in fF.
+    aggressor_slew:
+        Aggressor 0-100% transition time, ns.
+    """
+    if victim_holding_res < 0 or victim_ground_cap < 0:
+        raise PulseError("victim RC must be >= 0")
+    if coupling_cap <= 0:
+        raise PulseError(f"coupling cap must be > 0, got {coupling_cap}")
+    tr = max(aggressor_slew, _EPS_NS)
+    tau = max(
+        victim_holding_res * (victim_ground_cap + coupling_cap) * RC_TO_NS,
+        _EPS_NS,
+    )
+    charge_share = coupling_cap / (coupling_cap + victim_ground_cap + _EPS_NS)
+    ratio = tau / tr
+    peak = charge_share * ratio * (1.0 - math.exp(-1.0 / ratio))
+    peak = min(max(peak, 0.0), 1.0)
+    return NoisePulse(
+        peak=peak,
+        rise=tr,
+        decay=DECAY_TAUS * tau,
+        lead=tr / 2.0,
+    )
+
+
+def pulse_for_coupling(
+    netlist: Netlist,
+    coupling: CouplingCap,
+    victim: str,
+    aggressor_slew: float,
+) -> NoisePulse:
+    """Pulse injected onto ``victim`` by the far net of ``coupling``."""
+    if not coupling.touches(victim):
+        raise PulseError(
+            f"coupling {coupling.index} does not touch victim {victim!r}"
+        )
+    return pulse_parameters(
+        victim_holding_res=netlist.holding_resistance(victim),
+        victim_ground_cap=netlist.load_cap(victim),
+        coupling_cap=coupling.cap,
+        aggressor_slew=aggressor_slew,
+    )

@@ -1,0 +1,80 @@
+"""Static timing substrate: waveforms, windows, delay models, STA."""
+
+from .delay_models import (
+    INPUT_SLEW_FEEDTHROUGH,
+    PRIMARY_INPUT_SLEW,
+    ArcDelay,
+    driver_arc,
+    gate_arc,
+    wire_load,
+)
+from .constraints import (
+    ConstraintError,
+    Constraints,
+    EndpointSlack,
+    NoiseViolationReport,
+    classify_noise_violations,
+    endpoint_slacks,
+    worst_slack,
+)
+from .graph import TimingGraph
+from .paths import (
+    PathError,
+    TimingPath,
+    format_path,
+    n_worst_paths,
+    path_report,
+)
+from .sta import NetTiming, TimingError, TimingResult, run_sta
+from .waveform import (
+    Grid,
+    Waveform,
+    WaveformError,
+    crossing_time,
+    envelope_max,
+    falling_ramp,
+    rising_ramp,
+    trapezoid,
+    triangle,
+    zero,
+)
+from .windows import TimingWindow, WindowError, infinite_window
+
+__all__ = [
+    "ArcDelay",
+    "ConstraintError",
+    "Constraints",
+    "EndpointSlack",
+    "NoiseViolationReport",
+    "classify_noise_violations",
+    "endpoint_slacks",
+    "worst_slack",
+    "Grid",
+    "INPUT_SLEW_FEEDTHROUGH",
+    "NetTiming",
+    "PRIMARY_INPUT_SLEW",
+    "PathError",
+    "TimingError",
+    "TimingPath",
+    "TimingGraph",
+    "TimingResult",
+    "TimingWindow",
+    "Waveform",
+    "WaveformError",
+    "WindowError",
+    "crossing_time",
+    "driver_arc",
+    "envelope_max",
+    "falling_ramp",
+    "format_path",
+    "gate_arc",
+    "infinite_window",
+    "n_worst_paths",
+    "path_report",
+    "rising_ramp",
+    "run_sta",
+    "trapezoid",
+    "triangle",
+    "wire_load",
+    "zero",
+]

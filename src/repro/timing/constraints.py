@@ -1,0 +1,155 @@
+"""Timing constraints, slack, and violation reporting.
+
+The paper's goal statement is operational: "identify, for a given k, the
+set of k aggressors which must be fixed for optimally minimizing the
+noise violations in a design."  Violations presuppose constraints; this
+module adds them: a clock period (or per-output required times), slack
+per endpoint, and the classification designers actually act on — which
+endpoints fail *only because of delay noise*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Tuple
+
+from .sta import TimingResult
+
+
+class ConstraintError(ValueError):
+    """Raised for inconsistent constraint definitions."""
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Required arrival times at primary outputs.
+
+    Attributes
+    ----------
+    clock_period:
+        Default required time (ns) for every primary output.
+    output_required:
+        Per-output overrides.
+    """
+
+    clock_period: float
+    output_required: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0:
+            raise ConstraintError(
+                f"clock period must be > 0, got {self.clock_period}"
+            )
+        for name, value in self.output_required.items():
+            if value <= 0:
+                raise ConstraintError(
+                    f"required time for {name!r} must be > 0, got {value}"
+                )
+
+    def required(self, output: str) -> float:
+        return self.output_required.get(output, self.clock_period)
+
+
+@dataclass(frozen=True)
+class EndpointSlack:
+    """Slack of one primary output under one timing scenario."""
+
+    endpoint: str
+    arrival: float
+    required: float
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+    @property
+    def violated(self) -> bool:
+        return self.slack < 0.0
+
+
+def endpoint_slacks(
+    timing: TimingResult, constraints: Constraints
+) -> List[EndpointSlack]:
+    """Slack at every primary output, worst first."""
+    slacks = [
+        EndpointSlack(
+            endpoint=po,
+            arrival=timing.lat(po),
+            required=constraints.required(po),
+        )
+        for po in timing.netlist.primary_outputs
+    ]
+    slacks.sort(key=lambda s: s.slack)
+    return slacks
+
+
+def worst_slack(timing: TimingResult, constraints: Constraints) -> float:
+    slacks = endpoint_slacks(timing, constraints)
+    if not slacks:
+        raise ConstraintError("design has no primary outputs")
+    return slacks[0].slack
+
+
+@dataclass(frozen=True)
+class NoiseViolationReport:
+    """Endpoint classification under noiseless vs noisy timing.
+
+    * ``hard`` — violated even without noise (a synthesis problem, not a
+      crosstalk problem);
+    * ``noise_induced`` — meets timing noiselessly, fails with noise: the
+      endpoints the paper's elimination set is for;
+    * ``clean`` — meets timing in both scenarios.
+    """
+
+    constraints: Constraints
+    hard: Tuple[EndpointSlack, ...]
+    noise_induced: Tuple[EndpointSlack, ...]
+    clean: Tuple[EndpointSlack, ...]
+
+    @property
+    def has_noise_violations(self) -> bool:
+        return bool(self.noise_induced)
+
+    def summary(self) -> str:
+        lines = [
+            f"constraints: clock period {self.constraints.clock_period} ns",
+            f"  hard violations          : {len(self.hard)}",
+            f"  noise-induced violations : {len(self.noise_induced)}",
+            f"  clean endpoints          : {len(self.clean)}",
+        ]
+        for s in self.noise_induced:
+            lines.append(
+                f"    {s.endpoint}: arrival {s.arrival:.4f} ns, "
+                f"required {s.required:.4f} ns (slack {s.slack:+.4f})"
+            )
+        return "\n".join(lines)
+
+
+def classify_noise_violations(
+    nominal: TimingResult,
+    noisy: TimingResult,
+    constraints: Constraints,
+) -> NoiseViolationReport:
+    """Partition endpoints by whether noise is what breaks them."""
+    hard: List[EndpointSlack] = []
+    induced: List[EndpointSlack] = []
+    clean: List[EndpointSlack] = []
+    for po in nominal.netlist.primary_outputs:
+        required = constraints.required(po)
+        nominal_slack = required - nominal.lat(po)
+        noisy_entry = EndpointSlack(
+            endpoint=po, arrival=noisy.lat(po), required=required
+        )
+        if nominal_slack < 0.0:
+            hard.append(noisy_entry)
+        elif noisy_entry.violated:
+            induced.append(noisy_entry)
+        else:
+            clean.append(noisy_entry)
+    key = lambda s: s.slack  # noqa: E731 - tiny local sort key
+    return NoiseViolationReport(
+        constraints=constraints,
+        hard=tuple(sorted(hard, key=key)),
+        noise_induced=tuple(sorted(induced, key=key)),
+        clean=tuple(sorted(clean, key=key)),
+    )

@@ -1,0 +1,69 @@
+"""Timing graph construction and levelization.
+
+The timing graph's nodes are *nets* (every net has exactly one driver, so a
+net stands for its driver's output pin); an edge u -> v exists when net u is
+an input of the gate driving net v.  Levelization assigns each net the
+length of its longest gate path from any primary input — the order in which
+both STA and the top-k propagation visit nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..circuit.netlist import Netlist
+
+
+@dataclass
+class TimingGraph:
+    """Dependency structure of a netlist, cached for repeated traversals."""
+
+    netlist: Netlist
+    topo_order: List[str] = field(default_factory=list)
+    level: Dict[str, int] = field(default_factory=dict)
+    fanin: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    fanout: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "TimingGraph":
+        graph = cls(netlist=netlist)
+        graph.topo_order = list(netlist.topological_nets())
+        fanout_acc: Dict[str, List[str]] = {n: [] for n in graph.topo_order}
+        for net_name in graph.topo_order:
+            ins = tuple(netlist.driver_gate(net_name).inputs)
+            graph.fanin[net_name] = ins
+            for i in ins:
+                fanout_acc[i].append(net_name)
+            graph.level[net_name] = (
+                0 if not ins else 1 + max(graph.level[i] for i in ins)
+            )
+        graph.fanout = {n: tuple(v) for n, v in fanout_acc.items()}
+        return graph
+
+    @property
+    def depth(self) -> int:
+        """Longest path length in gate levels."""
+        return max(self.level.values(), default=0)
+
+    def nets_at_level(self, lvl: int) -> List[str]:
+        return [n for n in self.topo_order if self.level[n] == lvl]
+
+    def is_ancestor(self, ancestor: str, net: str) -> bool:
+        """True when ``ancestor`` is in the transitive fanin of ``net``."""
+        if self.level.get(ancestor, 0) >= self.level.get(net, 0):
+            return False
+        stack = list(self.fanin[net])
+        seen = set()
+        while stack:
+            cur = stack.pop()
+            if cur == ancestor:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            # Prune: ancestors must sit at strictly lower levels.
+            stack.extend(
+                i for i in self.fanin[cur] if self.level[i] >= self.level.get(ancestor, 0)
+            )
+        return False

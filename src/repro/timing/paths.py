@@ -1,0 +1,142 @@
+"""N-worst path enumeration and timing reports.
+
+The paper notes that "for correctness, in addition to the critical path,
+the analysis must also include near-critical paths" — delay noise can
+promote a near-critical path to critical.  This module enumerates the N
+slowest paths exactly (best-first backward expansion with admissible
+bounds: a partial suffix ending at net *n* can never complete better than
+``LAT(n) + suffix delay``), and renders PrimeTime-flavored text reports
+used by the examples and diagnostics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .delay_models import driver_arc
+from .sta import TimingResult
+
+
+class PathError(ValueError):
+    """Raised for invalid path queries."""
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One complete PI-to-PO path.
+
+    Attributes
+    ----------
+    nets:
+        Net names from the primary input to the primary output.
+    arrival:
+        Path arrival time at the output (ns), using late slews.
+    """
+
+    nets: Tuple[str, ...]
+    arrival: float
+
+    @property
+    def endpoint(self) -> str:
+        return self.nets[-1]
+
+    @property
+    def startpoint(self) -> str:
+        return self.nets[0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.nets) - 1
+
+
+def n_worst_paths(
+    timing: TimingResult,
+    n: int = 10,
+    endpoint: Optional[str] = None,
+) -> List[TimingPath]:
+    """The ``n`` slowest complete paths, slowest first.
+
+    Parameters
+    ----------
+    timing:
+        A solved :class:`~repro.timing.sta.TimingResult`.
+    n:
+        How many paths to return (fewer if the design has fewer).
+    endpoint:
+        Restrict to paths ending at this primary output (default: all).
+    """
+    if n < 1:
+        raise PathError(f"n must be >= 1, got {n}")
+    netlist = timing.netlist
+    endpoints = (
+        [endpoint] if endpoint is not None else list(netlist.primary_outputs)
+    )
+    for po in endpoints:
+        if po not in netlist.nets:
+            raise PathError(f"unknown endpoint {po!r}")
+
+    # Max-heap keyed on the admissible bound; counter breaks ties stably.
+    counter = itertools.count()
+    heap: List[Tuple[float, int, str, float, Tuple[str, ...]]] = []
+    for po in endpoints:
+        bound = timing.lat(po)
+        heapq.heappush(
+            heap, (-bound, next(counter), po, 0.0, (po,))
+        )
+
+    results: List[TimingPath] = []
+    while heap and len(results) < n:
+        neg_bound, _, net, suffix_delay, suffix = heapq.heappop(heap)
+        gate = netlist.driver_gate(net)
+        if gate.is_primary_input:
+            results.append(
+                TimingPath(nets=suffix, arrival=-neg_bound)
+            )
+            continue
+        for u in gate.inputs:
+            arc = driver_arc(netlist, net, timing.slew_late(u))
+            new_suffix_delay = suffix_delay + arc.delay
+            bound = timing.lat(u) + new_suffix_delay
+            heapq.heappush(
+                heap,
+                (-bound, next(counter), u, new_suffix_delay, (u,) + suffix),
+            )
+    return results
+
+
+def format_path(timing: TimingResult, path: TimingPath) -> str:
+    """A per-stage text rendition of one path."""
+    netlist = timing.netlist
+    lines = [
+        f"Startpoint: {path.startpoint}",
+        f"Endpoint:   {path.endpoint}",
+        f"{'net':<16} {'incr (ns)':>10} {'arrival (ns)':>13}",
+    ]
+    arrival = timing.lat(path.startpoint)
+    lines.append(f"{path.startpoint:<16} {'-':>10} {arrival:>13.4f}")
+    for prev, net in zip(path.nets, path.nets[1:]):
+        arc = driver_arc(netlist, net, timing.slew_late(prev))
+        arrival += arc.delay
+        lines.append(f"{net:<16} {arc.delay:>10.4f} {arrival:>13.4f}")
+    lines.append(f"{'path arrival':<16} {'':>10} {path.arrival:>13.4f}")
+    return "\n".join(lines)
+
+
+def path_report(
+    timing: TimingResult, n: int = 5, endpoint: Optional[str] = None
+) -> str:
+    """Summary report of the N worst paths."""
+    paths = n_worst_paths(timing, n=n, endpoint=endpoint)
+    if not paths:
+        return "no paths found"
+    header = f"{'#':>3} {'arrival':>9} {'depth':>6}  path"
+    lines = [header, "-" * len(header)]
+    for i, p in enumerate(paths, start=1):
+        route = " -> ".join(p.nets[:4])
+        if len(p.nets) > 4:
+            route += f" ... {p.endpoint}"
+        lines.append(f"{i:>3} {p.arrival:>9.4f} {p.depth:>6}  {route}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Static timing analysis: arrival windows, slews, critical paths.
+
+Implements the block-based STA the paper builds on: for every net we
+propagate the earliest arrival time (EAT — fastest t50) and latest arrival
+time (LAT — slowest t50) from primary inputs to outputs, along with the
+slews of the corresponding fastest/slowest transitions.  ``[EAT, LAT]`` is
+the net's :class:`~repro.timing.windows.TimingWindow`.
+
+Delay noise enters through ``extra_delay``: a map net -> additional delay
+injected at that net's driver output.  The iterative noise analysis
+(:mod:`repro.noise.analysis`) re-runs this engine with updated
+``extra_delay`` until the windows reach a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..circuit.netlist import Netlist
+from .delay_models import PRIMARY_INPUT_SLEW, driver_arc
+from .graph import TimingGraph
+from .windows import TimingWindow
+
+
+class TimingError(RuntimeError):
+    """Raised for inconsistent timing queries."""
+
+
+@dataclass(frozen=True)
+class NetTiming:
+    """Per-net STA solution.
+
+    Attributes
+    ----------
+    window:
+        ``[EAT, LAT]`` of the net's t50.
+    slew_early / slew_late:
+        0-100% transition times (ns) of the fastest / slowest transitions.
+    """
+
+    window: TimingWindow
+    slew_early: float
+    slew_late: float
+
+
+@dataclass
+class TimingResult:
+    """Full-design STA solution plus path-tracing support."""
+
+    netlist: Netlist
+    graph: TimingGraph
+    nets: Dict[str, NetTiming] = field(default_factory=dict)
+    worst_fanin: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def window(self, net: str) -> TimingWindow:
+        return self._get(net).window
+
+    def eat(self, net: str) -> float:
+        return self._get(net).window.eat
+
+    def lat(self, net: str) -> float:
+        return self._get(net).window.lat
+
+    def slew_late(self, net: str) -> float:
+        return self._get(net).slew_late
+
+    def slew_early(self, net: str) -> float:
+        return self._get(net).slew_early
+
+    def _get(self, net: str) -> NetTiming:
+        try:
+            return self.nets[net]
+        except KeyError:
+            raise TimingError(f"no timing for net {net!r}") from None
+
+    def circuit_delay(self) -> float:
+        """Latest arrival over all primary outputs (the paper's
+        "circuit delay")."""
+        pos = self.netlist.primary_outputs
+        if not pos:
+            raise TimingError("design has no primary outputs")
+        return max(self.lat(po) for po in pos)
+
+    def worst_output(self) -> str:
+        """The primary output with the latest arrival."""
+        pos = self.netlist.primary_outputs
+        if not pos:
+            raise TimingError("design has no primary outputs")
+        return max(pos, key=lambda po: (self.lat(po), po))
+
+    def critical_path(self, to_net: Optional[str] = None) -> List[str]:
+        """Nets on the slowest path into ``to_net`` (default: worst PO)."""
+        net = to_net if to_net is not None else self.worst_output()
+        path = [net]
+        while True:
+            prev = self.worst_fanin.get(net)
+            if prev is None:
+                break
+            path.append(prev)
+            net = prev
+        path.reverse()
+        return path
+
+    def horizon(self, margin: float = 1.5) -> float:
+        """An upper bound on any event time, for grids and "infinite"
+        windows: margin * circuit delay (with a floor for tiny designs)."""
+        return max(self.circuit_delay() * margin, 0.1)
+
+
+def run_sta(
+    netlist: Netlist,
+    graph: Optional[TimingGraph] = None,
+    extra_delay: Optional[Mapping[str, float]] = None,
+    input_arrivals: Optional[Mapping[str, TimingWindow]] = None,
+    input_slew: float = PRIMARY_INPUT_SLEW,
+) -> TimingResult:
+    """Run block-based STA over a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The design (with parasitics annotated if available).
+    graph:
+        Pre-built :class:`TimingGraph` to reuse across repeated runs.
+    extra_delay:
+        Additional delay (>= 0, ns) added at each named net's driver
+        output — the hook through which delay noise perturbs timing.
+        Applied to the LAT only (noise only ever slows the late transition;
+        the EAT is by definition the fastest, noiseless corner).
+    input_arrivals:
+        Optional windows at primary inputs (default: ``[0, 0]``).
+    input_slew:
+        Slew at primary inputs, ns.
+
+    Returns
+    -------
+    TimingResult
+    """
+    if graph is None:
+        graph = TimingGraph.from_netlist(netlist)
+    extra = dict(extra_delay or {})
+    for net_name, amount in extra.items():
+        if amount < -1e-12:
+            raise TimingError(
+                f"extra_delay for {net_name!r} must be >= 0, got {amount}"
+            )
+
+    result = TimingResult(netlist=netlist, graph=graph)
+
+    for net_name in graph.topo_order:
+        gate = netlist.driver_gate(net_name)
+        if gate.is_primary_input:
+            win = (
+                input_arrivals[net_name]
+                if input_arrivals and net_name in input_arrivals
+                else TimingWindow(0.0, 0.0)
+            )
+            bump = max(0.0, extra.get(net_name, 0.0))
+            result.nets[net_name] = NetTiming(
+                window=TimingWindow(win.eat, win.lat + bump),
+                slew_early=input_slew,
+                slew_late=input_slew,
+            )
+            result.worst_fanin[net_name] = None
+            continue
+
+        best_eat: Optional[Tuple[float, float]] = None  # (eat, slew)
+        best_lat: Optional[Tuple[float, float, str]] = None  # (lat, slew, via)
+        for in_net in gate.inputs:
+            in_t = result.nets[in_net]
+            arc_early = driver_arc(netlist, net_name, in_t.slew_early)
+            arc_late = driver_arc(netlist, net_name, in_t.slew_late)
+            eat = in_t.window.eat + arc_early.delay
+            lat = in_t.window.lat + arc_late.delay
+            if best_eat is None or eat < best_eat[0]:
+                best_eat = (eat, arc_early.slew)
+            if best_lat is None or lat > best_lat[0]:
+                best_lat = (lat, arc_late.slew, in_net)
+        assert best_eat is not None and best_lat is not None
+        bump = max(0.0, extra.get(net_name, 0.0))
+        result.nets[net_name] = NetTiming(
+            window=TimingWindow(best_eat[0], best_lat[0] + bump),
+            slew_early=best_eat[1],
+            slew_late=best_lat[1],
+        )
+        result.worst_fanin[net_name] = best_lat[2]
+
+    return result

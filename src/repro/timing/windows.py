@@ -1,0 +1,81 @@
+"""Timing-window algebra.
+
+A timing window ``[EAT, LAT]`` bounds the t50 instants at which a net can
+switch within a clock period (Section 2 of the paper).  Windows are the
+interface between static timing and noise analysis: the noise envelope of
+an aggressor spans its window, and delay noise *widens* windows (the LAT
+moves out), which is what the iterative analysis converges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class WindowError(ValueError):
+    """Raised for inverted or otherwise invalid windows."""
+
+
+@dataclass(frozen=True)
+class TimingWindow:
+    """A switching window ``[eat, lat]`` in ns (inclusive, eat <= lat)."""
+
+    eat: float
+    lat: float
+
+    def __post_init__(self) -> None:
+        if self.lat < self.eat:
+            raise WindowError(f"inverted window: eat={self.eat} > lat={self.lat}")
+
+    @property
+    def width(self) -> float:
+        return self.lat - self.eat
+
+    def overlaps(self, other: "TimingWindow", slack: float = 0.0) -> bool:
+        """True when the two windows overlap (optionally padded by ``slack``).
+
+        Aggressors whose window cannot overlap the victim's are *false*
+        aggressors for delay noise and are filtered out.
+        """
+        return (
+            self.eat - slack <= other.lat and other.eat - slack <= self.lat
+        )
+
+    def union(self, other: "TimingWindow") -> "TimingWindow":
+        """Smallest window containing both (used when merging arrival fans)."""
+        return TimingWindow(min(self.eat, other.eat), max(self.lat, other.lat))
+
+    def intersect(self, other: "TimingWindow") -> "TimingWindow":
+        """Overlap region; raises :class:`WindowError` if disjoint."""
+        lo, hi = max(self.eat, other.eat), min(self.lat, other.lat)
+        if hi < lo:
+            raise WindowError(f"windows {self} and {other} are disjoint")
+        return TimingWindow(lo, hi)
+
+    def shifted(self, dt: float) -> "TimingWindow":
+        return TimingWindow(self.eat + dt, self.lat + dt)
+
+    def widened_late(self, amount: float) -> "TimingWindow":
+        """Extend the LAT by ``amount`` >= 0 (delay noise pushes LAT out).
+
+        This is the operation that creates *higher-order* aggressors: extra
+        noise on an aggressor's fanin widens the aggressor's own window.
+        """
+        if amount < 0:
+            raise WindowError(f"cannot widen by negative amount {amount}")
+        return TimingWindow(self.eat, self.lat + amount)
+
+    def contains(self, t: float) -> bool:
+        return self.eat <= t <= self.lat
+
+    def __str__(self) -> str:
+        return f"[{self.eat:.4f}, {self.lat:.4f}]"
+
+
+#: The "assume everything can align" window used to seed the pessimistic
+#: first iteration of noise analysis and to bound the dominance interval.
+def infinite_window(horizon: float) -> TimingWindow:
+    """A window spanning ``[0, horizon]`` — effectively unconstrained."""
+    if horizon <= 0:
+        raise WindowError(f"horizon must be > 0, got {horizon}")
+    return TimingWindow(0.0, horizon)

@@ -1,0 +1,110 @@
+"""Unit tests for the ISCAS-89 .bench reader/writer."""
+
+import pytest
+
+from repro.circuit.bench import (
+    BenchFormatError,
+    load_bench,
+    parse_bench,
+    write_bench,
+)
+
+SIMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        nl = parse_bench(SIMPLE, name="simple")
+        nl.check()
+        assert nl.primary_inputs == ("a", "b")
+        assert nl.primary_outputs == ("y",)
+        assert nl.driver_gate("y").cell.function == "NAND"
+
+    def test_not_and_buf(self):
+        nl = parse_bench(
+            "INPUT(a)\nOUTPUT(z)\nx = NOT(a)\nz = BUFF(x)\n"
+        )
+        assert nl.driver_gate("x").cell.function == "INV"
+        assert nl.driver_gate("z").cell.function == "BUF"
+
+    def test_wide_gate_decomposition(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+            "OUTPUT(y)\ny = NAND(a, b, c, d, e)\n"
+        )
+        nl = parse_bench(text)
+        nl.check()
+        # Output stage keeps the NAND; inner stages are non-inverting ANDs.
+        assert nl.driver_gate("y").cell.function == "NAND"
+        inner = [
+            g for g in nl.gates.values()
+            if g.cell.function == "AND" and not g.is_primary_input
+        ]
+        assert len(inner) == 3  # 5 leaves -> 3 inner AND2s + NAND2 root
+
+    def test_dff_cut(self):
+        text = (
+            "INPUT(clkin)\nOUTPUT(out)\n"
+            "q = DFF(d)\n"
+            "d = NAND(clkin, q)\n"
+            "out = NOT(q)\n"
+        )
+        nl = parse_bench(text)
+        nl.check()
+        # Flop output becomes a PI; flop input becomes a PO.
+        assert "q" in nl.primary_inputs
+        assert "d" in nl.primary_outputs
+
+    def test_single_input_and_degrades_to_buffer(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n")
+        assert nl.driver_gate("y").cell.function == "BUF"
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(BenchFormatError, match="line"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(BenchFormatError, match="unsupported"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+
+    def test_empty_input_list_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND()\n")
+
+    def test_output_of_undefined_net_rejected(self):
+        with pytest.raises(BenchFormatError, match="undefined"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n")
+
+    def test_comments_and_blanks_ignored(self):
+        nl = parse_bench("\n# hi\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n")
+        assert nl.primary_inputs == ("a",)
+
+
+class TestWriteRoundTrip:
+    def test_round_trip_structure(self):
+        nl = parse_bench(SIMPLE, name="rt")
+        text = write_bench(nl)
+        nl2 = parse_bench(text, name="rt2")
+        assert set(nl2.primary_inputs) == set(nl.primary_inputs)
+        assert set(nl2.primary_outputs) == set(nl.primary_outputs)
+        assert nl2.gate_count() == nl.gate_count()
+        assert nl2.driver_gate("y").cell.function == "NAND"
+
+    def test_written_text_has_header(self):
+        nl = parse_bench(SIMPLE, name="rt")
+        assert write_bench(nl).startswith("# rt")
+
+
+class TestLoad:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(SIMPLE)
+        nl = load_bench(path)
+        assert nl.name == "c"
+        assert nl.primary_outputs == ("y",)

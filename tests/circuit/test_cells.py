@@ -1,0 +1,93 @@
+"""Unit tests for the cell library model."""
+
+import pytest
+
+from repro.circuit.cells import (
+    RC_TO_NS,
+    VDD,
+    Cell,
+    CellError,
+    CellLibrary,
+    default_library,
+)
+
+
+class TestCell:
+    def test_delay_is_intrinsic_plus_rc(self):
+        cell = Cell("X", "INV", 1, 2.0, 8.0, 0.010)
+        assert cell.delay(0.0) == pytest.approx(0.010)
+        assert cell.delay(10.0) == pytest.approx(0.010 + 8.0 * 10.0 * RC_TO_NS)
+
+    def test_delay_monotone_in_load(self):
+        cell = Cell("X", "INV", 1, 2.0, 8.0, 0.010)
+        loads = [0.0, 1.0, 5.0, 20.0, 100.0]
+        delays = [cell.delay(c) for c in loads]
+        assert delays == sorted(delays)
+
+    def test_output_slew_scales_delay(self):
+        cell = Cell("X", "INV", 1, 2.0, 8.0, 0.010, slew_factor=2.0)
+        assert cell.output_slew(5.0) == pytest.approx(2.0 * cell.delay(5.0))
+
+    def test_negative_load_rejected(self):
+        cell = Cell("X", "INV", 1, 2.0, 8.0, 0.010)
+        with pytest.raises(CellError):
+            cell.delay(-1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(CellError):
+            Cell("X", "INV", 1, -2.0, 8.0, 0.010)
+        with pytest.raises(CellError):
+            Cell("X", "INV", -1, 2.0, 8.0, 0.010)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CellError):
+            Cell("X", "FROB", 1, 2.0, 8.0, 0.010)
+
+    def test_pseudo_cell_flags(self):
+        lib = default_library()
+        assert lib["__INPUT__"].is_source
+        assert lib["__OUTPUT__"].is_sink
+        assert not lib["INV_X1"].is_source
+        assert not lib["INV_X1"].is_sink
+
+
+class TestCellLibrary:
+    def test_default_library_contents(self):
+        lib = default_library()
+        assert "INV_X1" in lib
+        assert "NAND2_X1" in lib
+        assert len(lib) > 10
+
+    def test_lookup_unknown_raises(self):
+        lib = default_library()
+        with pytest.raises(CellError):
+            lib["NONEXISTENT"]
+
+    def test_duplicate_add_rejected(self):
+        lib = CellLibrary("t")
+        lib.add(Cell("A", "INV", 1, 2.0, 8.0, 0.01))
+        with pytest.raises(CellError):
+            lib.add(Cell("A", "INV", 1, 2.0, 8.0, 0.01))
+
+    def test_combinational_excludes_pseudo(self):
+        lib = default_library()
+        names = {c.name for c in lib.combinational()}
+        assert "__INPUT__" not in names
+        assert "__OUTPUT__" not in names
+
+    def test_with_fanin_grouping(self):
+        lib = default_library()
+        for cell in lib.with_fanin(2):
+            assert cell.num_inputs == 2
+        assert lib.with_fanin(2)
+        assert lib.max_fanin() >= 3
+
+    def test_x2_cells_are_stronger(self):
+        lib = default_library()
+        x1, x2 = lib["INV_X1"], lib["INV_X2"]
+        assert x2.drive_res < x1.drive_res
+        assert x2.input_cap > x1.input_cap
+        assert x2.delay(20.0) < x1.delay(20.0)
+
+    def test_vdd_is_positive(self):
+        assert VDD > 0

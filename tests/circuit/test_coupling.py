@@ -1,0 +1,126 @@
+"""Unit tests for coupling caps, the coupling graph, and what-if views."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingError, CouplingGraph
+from repro.circuit.netlist import Netlist, NetlistError
+
+
+@pytest.fixture()
+def netlist():
+    nl = Netlist("t", default_library())
+    for name in ("a", "b", "c", "d"):
+        nl.add_primary_input(name)
+    return nl
+
+
+@pytest.fixture()
+def graph(netlist):
+    cg = CouplingGraph(netlist)
+    cg.add("a", "b", 1.0)
+    cg.add("b", "c", 2.0)
+    cg.add("c", "d", 3.0)
+    return cg
+
+
+class TestCouplingCap:
+    def test_other_terminal(self, graph):
+        cc = graph.by_index(0)
+        assert cc.other("a") == "b"
+        assert cc.other("b") == "a"
+
+    def test_other_rejects_non_terminal(self, graph):
+        with pytest.raises(CouplingError):
+            graph.by_index(0).other("c")
+
+    def test_touches(self, graph):
+        cc = graph.by_index(1)
+        assert cc.touches("b") and cc.touches("c")
+        assert not cc.touches("a")
+
+    def test_canonical_order(self, netlist):
+        cg = CouplingGraph(netlist)
+        cc = cg.add("d", "a", 1.0)
+        assert (cc.net_a, cc.net_b) == ("a", "d")
+
+
+class TestCouplingGraph:
+    def test_len_and_iter(self, graph):
+        assert len(graph) == 3
+        assert sorted(c.index for c in graph) == [0, 1, 2]
+
+    def test_parallel_caps_merge(self, netlist):
+        cg = CouplingGraph(netlist)
+        cg.add("a", "b", 1.0)
+        merged = cg.add("b", "a", 0.5)
+        assert len(cg) == 1
+        assert merged.cap == pytest.approx(1.5)
+        assert cg.by_index(0).cap == pytest.approx(1.5)
+
+    def test_self_coupling_rejected(self, netlist):
+        cg = CouplingGraph(netlist)
+        with pytest.raises(CouplingError):
+            cg.add("a", "a", 1.0)
+
+    def test_nonpositive_cap_rejected(self, netlist):
+        cg = CouplingGraph(netlist)
+        with pytest.raises(CouplingError):
+            cg.add("a", "b", 0.0)
+        with pytest.raises(CouplingError):
+            cg.add("a", "b", -1.0)
+
+    def test_unknown_net_rejected(self, netlist):
+        cg = CouplingGraph(netlist)
+        with pytest.raises(NetlistError):
+            cg.add("a", "ghost", 1.0)
+
+    def test_aggressors_of(self, graph):
+        aggs = graph.aggressors_of("b")
+        assert sorted(c.index for c in aggs) == [0, 1]
+        assert graph.aggressors_of("nonexistent") == []
+
+    def test_coupling_cap_total(self, graph):
+        assert graph.coupling_cap_total("b") == pytest.approx(3.0)
+        assert graph.coupling_cap_total("a") == pytest.approx(1.0)
+
+    def test_between(self, graph):
+        assert graph.between("c", "b").index == 1
+        assert graph.between("a", "d") is None
+
+    def test_bad_index(self, graph):
+        with pytest.raises(CouplingError):
+            graph.by_index(99)
+
+
+class TestCouplingView:
+    def test_restricted_filters(self, graph):
+        view = graph.restricted(frozenset({0, 2}))
+        assert len(view) == 2
+        assert sorted(c.index for c in view) == [0, 2]
+        assert [c.index for c in view.aggressors_of("b")] == [0]
+
+    def test_without_removes(self, graph):
+        view = graph.without(frozenset({1}))
+        assert sorted(c.index for c in view) == [0, 2]
+
+    def test_restricted_unknown_index_rejected(self, graph):
+        with pytest.raises(CouplingError):
+            graph.restricted(frozenset({7}))
+
+    def test_view_by_index_respects_activity(self, graph):
+        view = graph.restricted(frozenset({0}))
+        assert view.by_index(0).cap == pytest.approx(1.0)
+        with pytest.raises(CouplingError):
+            view.by_index(1)
+
+    def test_view_chaining(self, graph):
+        view = graph.restricted(frozenset({0, 1})).without(frozenset({0}))
+        assert [c.index for c in view] == [1]
+
+    def test_view_cap_total(self, graph):
+        view = graph.without(frozenset({0}))
+        assert view.coupling_cap_total("b") == pytest.approx(2.0)
+
+    def test_view_netlist_passthrough(self, graph, netlist):
+        assert graph.restricted(frozenset()).netlist is netlist

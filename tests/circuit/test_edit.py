@@ -1,0 +1,120 @@
+"""Unit tests for design edits (the fixes an elimination set drives)."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.edit import (
+    SHIELD_GROUND_FRACTION,
+    EditError,
+    remove_couplings,
+    shield_couplings,
+    upsize_driver,
+)
+from repro.circuit.netlist import Netlist
+from repro.noise.analysis import analyze_noise
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture()
+def design():
+    nl = Netlist("edit_t", default_library())
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    nl.add_gate("g1", "INV_X1", ["a"], "x")
+    nl.add_gate("g2", "NAND2_X1", ["x", "b"], "y")
+    nl.add_primary_output("y")
+    cg = CouplingGraph(nl)
+    cg.add("x", "y", 1.2)
+    cg.add("x", "b", 0.5)
+    return Design(netlist=nl, coupling=cg)
+
+
+class TestRemove:
+    def test_couplings_gone(self, design):
+        edited = remove_couplings(design, frozenset({0}))
+        assert len(edited.coupling) == 1
+        assert edited.coupling.between("x", "y") is None
+
+    def test_original_untouched(self, design):
+        remove_couplings(design, frozenset({0}))
+        assert len(design.coupling) == 2
+
+    def test_reduces_noise(self, design):
+        before = analyze_noise(design).circuit_delay()
+        edited = remove_couplings(design, design.coupling.all_indices())
+        after = analyze_noise(edited).circuit_delay()
+        assert after <= before + 1e-12
+
+    def test_unknown_index_rejected(self, design):
+        with pytest.raises(EditError):
+            remove_couplings(design, frozenset({99}))
+
+
+class TestShield:
+    def test_coupling_becomes_ground_cap(self, design):
+        cap = design.coupling.by_index(0).cap
+        wire_x = design.netlist.net("x").wire_cap
+        edited = shield_couplings(design, frozenset({0}))
+        assert edited.coupling.between("x", "y") is None
+        assert edited.netlist.net("x").wire_cap == pytest.approx(
+            wire_x + SHIELD_GROUND_FRACTION * cap
+        )
+
+    def test_original_netlist_untouched(self, design):
+        before = design.netlist.net("x").wire_cap
+        shield_couplings(design, frozenset({0}))
+        assert design.netlist.net("x").wire_cap == before
+
+    def test_shield_costs_nominal_delay(self, design):
+        base = run_sta(design.netlist).circuit_delay()
+        edited = shield_couplings(design, design.coupling.all_indices())
+        shielded = run_sta(edited.netlist).circuit_delay()
+        assert shielded >= base  # shields are not free
+
+    def test_shield_reduces_noise_component(self, design):
+        # The shield trades coupling noise for grounded load: the NOISE
+        # component must shrink even when the nominal delay grows.
+        before = analyze_noise(design)
+        edited = shield_couplings(design, frozenset({0}))
+        after = analyze_noise(edited)
+        assert (
+            after.total_delay_noise() < before.total_delay_noise() + 1e-12
+        )
+
+
+class TestUpsize:
+    def test_swaps_to_x2(self, design):
+        edited = upsize_driver(design, "x")
+        assert edited.netlist.driver_gate("x").cell.name == "INV_X2"
+        # Original untouched.
+        assert design.netlist.driver_gate("x").cell.name == "INV_X1"
+
+    def test_weakens_noise_pulse(self, design):
+        edited = upsize_driver(design, "x")
+        assert (
+            edited.netlist.holding_resistance("x")
+            < design.netlist.holding_resistance("x")
+        )
+
+    def test_primary_input_rejected(self, design):
+        with pytest.raises(EditError, match="primary input"):
+            upsize_driver(design, "a")
+
+    def test_already_x2_rejected(self, design):
+        once = upsize_driver(design, "x")
+        with pytest.raises(EditError, match="already"):
+            upsize_driver(once, "x")
+
+    def test_no_variant_rejected(self, design):
+        nl = Netlist("v", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g", "NAND3_X1", ["a", "a2", "a3"], "y")
+        nl.add_primary_input("a2")
+        nl.add_primary_input("a3")
+        nl.add_primary_output("y")
+        cg = CouplingGraph(nl)
+        d = Design(netlist=nl, coupling=cg)
+        with pytest.raises(EditError, match="no X2 variant"):
+            upsize_driver(d, "y")

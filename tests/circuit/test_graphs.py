@@ -1,0 +1,70 @@
+"""Tests for networkx graph exports."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit.graphs import (
+    coupling_communities,
+    coupling_graph,
+    timing_dag,
+)
+
+
+class TestTimingDag:
+    def test_is_dag(self, tiny_design):
+        dag = timing_dag(tiny_design.netlist)
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_nodes_are_nets(self, tiny_design):
+        dag = timing_dag(tiny_design.netlist)
+        assert set(dag.nodes) == set(tiny_design.netlist.nets)
+
+    def test_edges_follow_gates(self, tiny_design):
+        dag = timing_dag(tiny_design.netlist)
+        nl = tiny_design.netlist
+        for u, v, data in dag.edges(data=True):
+            gate = nl.driver_gate(v)
+            assert u in gate.inputs
+            assert data["gate"] == gate.name
+
+    def test_topological_order_consistent(self, tiny_design):
+        dag = timing_dag(tiny_design.netlist)
+        order = {n: i for i, n in enumerate(nx.topological_sort(dag))}
+        library_order = {
+            n: i
+            for i, n in enumerate(tiny_design.netlist.topological_nets())
+        }
+        for u, v in dag.edges:
+            assert order[u] < order[v]
+            assert library_order[u] < library_order[v]
+
+
+class TestCouplingGraph:
+    def test_edges_match_caps(self, tiny_design):
+        graph = coupling_graph(tiny_design.coupling)
+        assert graph.number_of_edges() == len(tiny_design.coupling)
+        for cc in tiny_design.coupling:
+            assert graph.has_edge(cc.net_a, cc.net_b)
+            assert graph[cc.net_a][cc.net_b]["weight"] == pytest.approx(
+                cc.cap
+            )
+
+    def test_netlist_adds_isolated_nodes(self, tiny_design):
+        with_nets = coupling_graph(
+            tiny_design.coupling, tiny_design.netlist
+        )
+        assert set(with_nets.nodes) == set(tiny_design.netlist.nets)
+
+
+class TestCommunities:
+    def test_components_sorted_by_size(self, tiny_design):
+        comps = coupling_communities(tiny_design)
+        sizes = [len(c) for c in comps]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(len(c) >= 2 for c in comps)
+
+    def test_members_actually_coupled(self, tiny_design):
+        graph = coupling_graph(tiny_design.coupling)
+        for comp in coupling_communities(tiny_design):
+            sub = graph.subgraph(comp)
+            assert nx.is_connected(sub)

@@ -1,0 +1,138 @@
+"""Unit tests for the netlist data model."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.netlist import Netlist, NetlistError
+
+
+@pytest.fixture()
+def lib():
+    return default_library()
+
+
+def build_simple(lib):
+    nl = Netlist("t", lib)
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    nl.add_gate("g1", "NAND2_X1", ["a", "b"], "y")
+    nl.add_primary_output("y")
+    return nl
+
+
+class TestConstruction:
+    def test_simple_build_checks(self, lib):
+        nl = build_simple(lib)
+        nl.check()
+        assert nl.gate_count() == 1
+        assert nl.gate_count(include_pseudo=True) == 4
+        assert nl.net_count() == 3
+
+    def test_duplicate_gate_rejected(self, lib):
+        nl = build_simple(lib)
+        with pytest.raises(NetlistError):
+            nl.add_gate("g1", "INV_X1", ["y"], "z")
+
+    def test_double_driver_rejected(self, lib):
+        nl = build_simple(lib)
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate("g2", "INV_X1", ["a"], "y")
+
+    def test_wrong_input_count_rejected(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        with pytest.raises(NetlistError, match="expects 2 inputs"):
+            nl.add_gate("g1", "NAND2_X1", ["a"], "y")
+
+    def test_nets_created_on_demand(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "INV_X1", ["a"], "y")
+        assert "y" in nl.nets
+        assert nl.net("y").driver == "g1"
+
+
+class TestQueries:
+    def test_driver_and_loads(self, lib):
+        nl = build_simple(lib)
+        assert nl.driver_gate("y").name == "g1"
+        load_names = [g.name for g in nl.load_gates("a")]
+        assert load_names == ["g1"]
+
+    def test_fanin_fanout_nets(self, lib):
+        nl = build_simple(lib)
+        assert sorted(nl.fanin_nets("y")) == ["a", "b"]
+        assert nl.fanout_nets("a") == ["y"]
+        # PO pseudo-cell has no output net.
+        assert nl.fanout_nets("y") == []
+
+    def test_unknown_net_raises(self, lib):
+        nl = build_simple(lib)
+        with pytest.raises(NetlistError):
+            nl.net("nope")
+        with pytest.raises(NetlistError):
+            nl.gate("nope")
+
+    def test_load_cap_sums_pins_and_wire(self, lib):
+        nl = build_simple(lib)
+        nl.net("a").wire_cap = 3.0
+        expected = lib["NAND2_X1"].input_cap + 3.0
+        assert nl.load_cap("a") == pytest.approx(expected)
+
+    def test_holding_resistance(self, lib):
+        nl = build_simple(lib)
+        nl.net("y").wire_res = 0.5
+        expected = lib["NAND2_X1"].drive_res + 0.5
+        assert nl.holding_resistance("y") == pytest.approx(expected)
+
+    def test_undriven_net_raises_on_driver_query(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_net("floating")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.driver_gate("floating")
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "INV_X1", ["a"], "b")
+        nl.add_gate("g2", "INV_X1", ["b"], "c")
+        nl.add_gate("g3", "NAND2_X1", ["a", "c"], "d")
+        nl.add_primary_output("d")
+        order = list(nl.topological_nets())
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+    def test_cycle_detected(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "NAND2_X1", ["a", "loop"], "x")
+        nl.add_gate("g2", "INV_X1", ["x"], "loop")
+        with pytest.raises(NetlistError, match="cycle"):
+            list(nl.topological_nets())
+
+    def test_topo_cache_invalidation(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "INV_X1", ["a"], "b")
+        first = list(nl.topological_nets())
+        nl.add_gate("g2", "INV_X1", ["b"], "c")
+        second = list(nl.topological_nets())
+        assert "c" in second and "c" not in first
+
+    def test_transitive_fanin(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_gate("g1", "INV_X1", ["a"], "x")
+        nl.add_gate("g2", "NAND2_X1", ["x", "b"], "y")
+        nl.add_primary_output("y")
+        cone = set(nl.transitive_fanin("y"))
+        assert cone == {"a", "b", "x"}
+
+    def test_check_rejects_undriven(self, lib):
+        nl = build_simple(lib)
+        nl.add_net("dangling")
+        with pytest.raises(NetlistError, match="dangling"):
+            nl.check()

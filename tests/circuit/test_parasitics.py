@@ -1,0 +1,73 @@
+"""Unit tests for wire parasitic annotation."""
+
+import pytest
+
+from repro.circuit.generator import random_netlist
+from repro.circuit.parasitics import (
+    ParasiticConstants,
+    annotate_parasitics,
+    elmore_delay_ns,
+)
+from repro.circuit.placement import Placement
+
+
+@pytest.fixture()
+def placed():
+    nl = random_netlist("p", 20, seed=8)
+    return nl, Placement(nl, seed=8)
+
+
+class TestAnnotate:
+    def test_values_proportional_to_length(self, placed):
+        nl, pl = placed
+        annotate_parasitics(nl, pl)
+        for name, net in nl.nets.items():
+            length = pl.wirelength(name)
+            if length > 0:
+                assert net.wire_cap > 0
+                assert net.wire_res > 0
+            assert net.wire_cap == pytest.approx(
+                ParasiticConstants().cap_ff_per_um * length
+            )
+
+    def test_idempotent(self, placed):
+        nl, pl = placed
+        annotate_parasitics(nl, pl)
+        first = {n: (net.wire_cap, net.wire_res) for n, net in nl.nets.items()}
+        annotate_parasitics(nl, pl)
+        second = {n: (net.wire_cap, net.wire_res) for n, net in nl.nets.items()}
+        assert first == second
+
+    def test_custom_constants_scale(self, placed):
+        nl, pl = placed
+        doubled = ParasiticConstants(
+            res_kohm_per_um=2 * ParasiticConstants().res_kohm_per_um,
+            cap_ff_per_um=2 * ParasiticConstants().cap_ff_per_um,
+        )
+        annotate_parasitics(nl, pl)
+        base = {n: net.wire_cap for n, net in nl.nets.items()}
+        annotate_parasitics(nl, pl, doubled)
+        for name, net in nl.nets.items():
+            assert net.wire_cap == pytest.approx(2 * base[name])
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            ParasiticConstants(res_kohm_per_um=-1.0)
+        with pytest.raises(ValueError):
+            ParasiticConstants(cap_ff_per_um=-0.1)
+
+
+class TestElmore:
+    def test_elmore_nonnegative(self, placed):
+        nl, pl = placed
+        annotate_parasitics(nl, pl)
+        for name in nl.nets:
+            assert elmore_delay_ns(nl, name) >= 0.0
+
+    def test_elmore_zero_without_resistance(self, placed):
+        nl, pl = placed
+        for net in nl.nets.values():
+            net.wire_res = 0.0
+            net.wire_cap = 5.0
+        for name in nl.nets:
+            assert elmore_delay_ns(nl, name) == 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for synthetic placement and coupling extraction."""
+
+import collections
+
+import pytest
+
+from repro.circuit.generator import random_netlist
+from repro.circuit.parasitics import annotate_parasitics
+from repro.circuit.placement import (
+    ROW_PITCH_UM,
+    NetBBox,
+    Placement,
+    extract_coupling,
+)
+
+
+@pytest.fixture()
+def placed():
+    nl = random_netlist("p", 30, seed=6)
+    return Placement(nl, seed=6)
+
+
+class TestNetBBox:
+    def test_half_perimeter(self):
+        box = NetBBox("n", 0.0, 10.0, 2.0, 6.0)
+        assert box.half_perimeter == pytest.approx(14.0)
+
+    def test_lateral_overlap(self):
+        a = NetBBox("a", 0.0, 10.0, 0.0, 0.0)
+        b = NetBBox("b", 4.0, 14.0, 2.0, 2.0)
+        assert a.lateral_overlap(b) == pytest.approx(6.0)
+
+    def test_no_overlap(self):
+        a = NetBBox("a", 0.0, 2.0, 0.0, 0.0)
+        b = NetBBox("b", 10.0, 12.0, 0.0, 0.0)
+        assert a.lateral_overlap(b) == 0.0
+
+    def test_separation_zero_when_overlapping(self):
+        a = NetBBox("a", 0.0, 10.0, 0.0, 4.0)
+        b = NetBBox("b", 5.0, 15.0, 2.0, 6.0)
+        assert a.separation(b) == 0.0
+
+    def test_separation_diagonal(self):
+        a = NetBBox("a", 0.0, 1.0, 0.0, 1.0)
+        b = NetBBox("b", 4.0, 5.0, 5.0, 6.0)
+        assert a.separation(b) == pytest.approx((3.0**2 + 4.0**2) ** 0.5)
+
+
+class TestPlacement:
+    def test_every_gate_placed(self, placed):
+        for gate_name in placed.netlist.gates:
+            assert gate_name in placed.locations
+
+    def test_every_net_routed(self, placed):
+        for net_name in placed.netlist.nets:
+            assert net_name in placed.bboxes
+            assert placed.wirelength(net_name) >= 0.0
+
+    def test_deterministic(self):
+        nl = random_netlist("p", 30, seed=6)
+        a = Placement(nl, seed=6)
+        b = Placement(nl, seed=6)
+        assert a.locations == b.locations
+
+    def test_levels_map_to_columns(self, placed):
+        # Primary-input drivers sit in column x = 0.
+        nl = placed.netlist
+        for pi in nl.primary_inputs:
+            assert placed.locations[nl.net(pi).driver].x == 0.0
+
+
+class TestExtraction:
+    def test_target_count_met(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        cg = extract_coupling(placed, target_caps=50, seed=6)
+        assert len(cg) == 50
+
+    def test_per_net_cap_respected(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        cg = extract_coupling(placed, max_aggressors_per_net=5)
+        counts = collections.Counter()
+        for cc in cg:
+            counts[cc.net_a] += 1
+            counts[cc.net_b] += 1
+        assert max(counts.values()) <= 5
+
+    def test_caps_positive(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        cg = extract_coupling(placed)
+        assert all(cc.cap > 0 for cc in cg)
+
+    def test_deterministic(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        a = [(c.net_a, c.net_b, c.cap) for c in extract_coupling(placed, seed=1)]
+        b = [(c.net_a, c.net_b, c.cap) for c in extract_coupling(placed, seed=1)]
+        assert a == b
+
+    def test_nearby_pairs_couple_stronger(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        cg = extract_coupling(placed)
+        if len(cg) < 2:
+            pytest.skip("too few caps extracted")
+        caps = [c.cap for c in cg]
+        # Distribution must not be degenerate (all equal).
+        assert max(caps) > min(caps)
+
+    def test_separation_threshold(self, placed):
+        annotate_parasitics(placed.netlist, placed)
+        tight = extract_coupling(placed, max_separation_um=ROW_PITCH_UM)
+        loose = extract_coupling(placed, max_separation_um=8 * ROW_PITCH_UM)
+        assert len(loose) >= len(tight)

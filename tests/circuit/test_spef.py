@@ -1,0 +1,134 @@
+"""Unit tests for SPEF-lite reading and writing."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.netlist import Netlist
+from repro.circuit.spef import (
+    SpefFormatError,
+    load_spef_into,
+    read_spef,
+    write_spef,
+)
+
+
+@pytest.fixture()
+def design():
+    nl = Netlist("spef_t", default_library())
+    nl.add_primary_input("a")
+    nl.add_gate("g1", "INV_X1", ["a"], "y")
+    nl.add_gate("g2", "INV_X1", ["y"], "z")
+    nl.add_primary_output("z")
+    nl.net("y").wire_cap = 2.5
+    nl.net("y").wire_res = 0.4
+    nl.net("a").wire_cap = 1.0
+    cg = CouplingGraph(nl)
+    cg.add("a", "y", 0.8)
+    cg.add("y", "z", 0.3)
+    return Design(netlist=nl, coupling=cg)
+
+
+class TestWrite:
+    def test_header(self, design):
+        text = write_spef(design)
+        assert '*SPEF "IEEE 1481-1998"' in text
+        assert '*DESIGN "spef_t"' in text
+        assert "*C_UNIT 1 FF" in text
+
+    def test_every_net_has_dnet(self, design):
+        text = write_spef(design)
+        for net in design.netlist.nets:
+            assert f"*D_NET {net} " in text
+
+    def test_coupling_written_once(self, design):
+        text = write_spef(design)
+        assert sum("y:1 0.8" in line or "a:1 y:1" in line
+                   for line in text.splitlines()) >= 1
+        # Each coupling appears exactly once across the file.
+        coupling_lines = [
+            line for line in text.splitlines()
+            if line and line[0].isdigit() and len(line.split()) == 4
+            and not line.split()[1].split(":")[0] == line.split()[2].split(":")[0]
+        ]
+        # 1 RES line for y + 2 coupling lines.
+        couplings = [
+            ln for ln in coupling_lines
+            if not ln.split()[1].startswith(ln.split()[2].split(":")[0])
+        ]
+        assert len([ln for ln in coupling_lines if "0.8" in ln or "0.3" in ln]) == 2
+
+
+class TestRoundTrip:
+    def test_coupling_survives(self, design):
+        text = write_spef(design)
+        coupling, ground = read_spef(text, design.netlist)
+        assert len(coupling) == len(design.coupling)
+        original = {
+            (c.net_a, c.net_b): c.cap for c in design.coupling
+        }
+        parsed = {(c.net_a, c.net_b): c.cap for c in coupling}
+        for pair, cap in original.items():
+            assert parsed[pair] == pytest.approx(cap, rel=1e-6)
+
+    def test_ground_rc_survives(self, design):
+        text = write_spef(design)
+        __, ground = read_spef(text, design.netlist)
+        assert ground["y"][0] == pytest.approx(2.5, rel=1e-6)
+        assert ground["y"][1] == pytest.approx(0.4, rel=1e-6)
+
+    def test_load_into_annotates(self, design, tmp_path):
+        text = write_spef(design)
+        path = tmp_path / "t.spef"
+        path.write_text(text)
+        # Fresh netlist with zero parasitics.
+        nl = Netlist("spef_t", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "INV_X1", ["a"], "y")
+        nl.add_gate("g2", "INV_X1", ["y"], "z")
+        nl.add_primary_output("z")
+        coupling = load_spef_into(nl, path)
+        assert nl.net("y").wire_cap == pytest.approx(2.5, rel=1e-6)
+        assert len(coupling) == 2
+
+
+class TestErrors:
+    def test_unknown_net_rejected(self, design):
+        text = "*D_NET ghost 1.0\n*CAP\n*END\n"
+        with pytest.raises(SpefFormatError, match="unknown net"):
+            read_spef(text, design.netlist)
+
+    def test_unknown_coupling_target_rejected(self, design):
+        text = "*D_NET y 1.0\n*CAP\n1 y:1 ghost:1 0.5\n*END\n"
+        with pytest.raises(SpefFormatError, match="unknown net"):
+            read_spef(text, design.netlist)
+
+    def test_negative_value_rejected(self, design):
+        text = "*D_NET y 1.0\n*CAP\n1 y:1 -0.5\n*END\n"
+        with pytest.raises(SpefFormatError, match="negative"):
+            read_spef(text, design.netlist)
+
+    def test_data_outside_section_rejected(self, design):
+        text = "*D_NET y 1.0\nbogus line here\n*END\n"
+        with pytest.raises(SpefFormatError):
+            read_spef(text, design.netlist)
+
+    def test_malformed_cap_rejected(self, design):
+        text = "*D_NET y 1.0\n*CAP\n1 y:1\n*END\n"
+        with pytest.raises(SpefFormatError, match="malformed"):
+            read_spef(text, design.netlist)
+
+    def test_res_outside_dnet_rejected(self, design):
+        with pytest.raises(SpefFormatError, match="outside"):
+            read_spef("*RES\n", design.netlist)
+
+    def test_duplicated_coupling_collapses(self, design):
+        # SPEF listing the same cap from both terminals stores it once.
+        text = (
+            "*D_NET a 1.0\n*CAP\n1 a:1 y:1 0.8\n*END\n"
+            "*D_NET y 1.0\n*CAP\n1 y:1 a:1 0.8\n*END\n"
+        )
+        coupling, _ = read_spef(text, design.netlist)
+        assert len(coupling) == 1
+        assert coupling.between("a", "y").cap == pytest.approx(0.8)

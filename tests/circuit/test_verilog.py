@@ -1,0 +1,127 @@
+"""Unit tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.circuit.verilog import (
+    VerilogFormatError,
+    load_verilog,
+    parse_verilog,
+    write_verilog,
+)
+
+SIMPLE = """
+// a simple module
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire w1;
+  nand g1 (w1, a, b);
+  not  g2 (y, w1);
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        nl = parse_verilog(SIMPLE)
+        nl.check()
+        assert nl.name == "top"
+        assert nl.primary_inputs == ("a", "b")
+        assert nl.primary_outputs == ("y",)
+        assert nl.driver_gate("w1").cell.function == "NAND"
+        assert nl.driver_gate("y").cell.function == "INV"
+
+    def test_name_override(self):
+        nl = parse_verilog(SIMPLE, name="renamed")
+        assert nl.name == "renamed"
+
+    def test_block_comments_stripped(self):
+        text = SIMPLE.replace("wire w1;", "/* multi\nline */ wire w1;")
+        nl = parse_verilog(text)
+        assert "w1" in nl.nets
+
+    def test_anonymous_instance(self):
+        text = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  not (y, a);\nendmodule\n"
+        )
+        nl = parse_verilog(text)
+        assert nl.driver_gate("y").cell.function == "INV"
+
+    def test_wide_primitive_decomposed(self):
+        text = (
+            "module m (a, b, c, d, y);\n"
+            "  input a, b, c, d;\n  output y;\n"
+            "  nand g (y, a, b, c, d);\nendmodule\n"
+        )
+        nl = parse_verilog(text)
+        nl.check()
+        assert nl.driver_gate("y").cell.function == "NAND"
+        assert nl.gate_count() == 3  # 2 inner AND2s + root NAND2
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(VerilogFormatError, match="no module"):
+            parse_verilog("wire w;\n")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(VerilogFormatError, match="endmodule"):
+            parse_verilog("module m (a);\n input a;\n")
+
+    def test_vectors_rejected(self):
+        text = (
+            "module m (a, y);\n  input [3:0] a;\n  output y;\nendmodule\n"
+        )
+        with pytest.raises(VerilogFormatError, match="vector"):
+            parse_verilog(text)
+
+    def test_assign_rejected(self):
+        text = (
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  assign y = a;\nendmodule\n"
+        )
+        with pytest.raises(VerilogFormatError):
+            parse_verilog(text)
+
+    def test_undriven_output_rejected(self):
+        text = (
+            "module m (a, y);\n  input a;\n  output y;\nendmodule\n"
+        )
+        with pytest.raises(VerilogFormatError, match="never driven"):
+            parse_verilog(text)
+
+
+class TestRoundTrip:
+    def test_structure_survives(self):
+        nl = parse_verilog(SIMPLE)
+        text = write_verilog(nl)
+        nl2 = parse_verilog(text)
+        assert set(nl2.primary_inputs) == set(nl.primary_inputs)
+        assert set(nl2.primary_outputs) == set(nl.primary_outputs)
+        assert nl2.gate_count() == nl.gate_count()
+
+    def test_functionality_survives(self):
+        from repro.logic.sim import truth_assignment
+
+        nl = parse_verilog(SIMPLE)
+        nl2 = parse_verilog(write_verilog(nl))
+        for a in (False, True):
+            for b in (False, True):
+                v1 = truth_assignment(nl, {"a": a, "b": b})["y"]
+                v2 = truth_assignment(nl2, {"a": a, "b": b})["y"]
+                assert v1 == v2
+
+    def test_cross_format_with_bench(self):
+        from repro.circuit.bench import parse_bench, write_bench
+
+        nl = parse_verilog(SIMPLE)
+        bench_text = write_bench(nl)
+        nl2 = parse_bench(bench_text)
+        assert nl2.gate_count() == nl.gate_count()
+
+
+class TestLoad:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "m.v"
+        path.write_text(SIMPLE)
+        nl = load_verilog(path)
+        assert nl.primary_outputs == ("y",)

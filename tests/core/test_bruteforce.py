@@ -1,0 +1,90 @@
+"""Unit tests for the brute-force baseline."""
+
+import pytest
+
+from repro.core.bruteforce import (
+    BruteForceResult,
+    brute_force_top_k,
+    n_choose_k,
+)
+from repro.core.engine import TopKError
+from repro.noise.analysis import analyze_noise
+from repro.timing.sta import run_sta
+
+
+class TestNChooseK:
+    def test_small_values(self):
+        assert n_choose_k(5, 0) == 1
+        assert n_choose_k(5, 1) == 5
+        assert n_choose_k(5, 2) == 10
+        assert n_choose_k(5, 5) == 1
+
+    def test_out_of_range(self):
+        assert n_choose_k(3, 4) == 0
+        assert n_choose_k(3, -1) == 0
+
+    def test_large_exact(self):
+        assert n_choose_k(50, 3) == 19600
+        import math
+
+        assert n_choose_k(232, 3) == math.comb(232, 3)
+
+
+class TestBruteForce:
+    def test_k0_addition_is_nominal(self, tiny_design):
+        r = brute_force_top_k(tiny_design, 0, "addition")
+        assert r.delay == pytest.approx(
+            run_sta(tiny_design.netlist).circuit_delay()
+        )
+        assert not r.timed_out
+
+    def test_k0_elimination_is_all_aggressor(self, tiny_design):
+        r = brute_force_top_k(tiny_design, 0, "elimination")
+        assert r.delay == pytest.approx(
+            analyze_noise(tiny_design).circuit_delay()
+        )
+
+    def test_k1_addition_maximizes(self, tiny_design):
+        from repro.noise.analysis import circuit_delay_with_couplings
+
+        r = brute_force_top_k(tiny_design, 1, "addition")
+        assert r.complete
+        assert r.evaluations == len(tiny_design.coupling)
+        # No singleton beats the winner.
+        for idx in tiny_design.coupling.all_indices():
+            d = circuit_delay_with_couplings(tiny_design, frozenset({idx}))
+            assert d <= r.delay + 1e-9
+
+    def test_k1_elimination_minimizes(self, tiny_design):
+        r = brute_force_top_k(tiny_design, 1, "elimination")
+        assert r.complete
+        all_agg = analyze_noise(tiny_design).circuit_delay()
+        assert r.delay <= all_agg + 1e-9
+
+    def test_timeout_flags_result(self, tiny_design):
+        r = brute_force_top_k(tiny_design, 2, "addition", timeout_s=0.0)
+        assert r.timed_out
+        assert not r.complete
+        assert r.evaluations < r.total_subsets
+
+    def test_bad_mode_rejected(self, tiny_design):
+        with pytest.raises(TopKError):
+            brute_force_top_k(tiny_design, 1, "sideways")
+
+    def test_bad_k_rejected(self, tiny_design):
+        with pytest.raises(TopKError):
+            brute_force_top_k(tiny_design, -1, "addition")
+
+    def test_k_larger_than_population(self, tiny_design):
+        r = brute_force_top_k(
+            tiny_design, len(tiny_design.coupling) + 5, "addition"
+        )
+        assert r.complete
+        all_agg = analyze_noise(tiny_design).circuit_delay()
+        assert r.delay == pytest.approx(all_agg, rel=1e-6)
+
+    def test_result_dataclass_fields(self, tiny_design):
+        r = brute_force_top_k(tiny_design, 1, "addition")
+        assert isinstance(r, BruteForceResult)
+        assert r.runtime_s >= 0.0
+        assert r.total_subsets == len(tiny_design.coupling)

@@ -1,0 +1,154 @@
+"""Unit tests for dominance, batched scoring, and irredundant reduction.
+
+Includes the paper's Figure 6 scenario: envelope D dominates C, while A
+and B are mutually non-dominated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggressor_set import EnvelopeSet
+from repro.core.dominance import (
+    DominanceInterval,
+    batch_delay_noise,
+    envelope_dominates,
+    reduce_irredundant,
+)
+from repro.noise.envelope import NoiseEnvelope
+from repro.noise.superposition import delay_noise_sampled
+from repro.timing.waveform import Grid, triangle
+
+
+GRID = Grid(0.0, 4.0, 512)
+
+
+def sampled_set(ids, t0, tp, t1, h, score=0.0):
+    env = NoiseEnvelope("v", triangle(t0, tp, t1, h)).sample(GRID)
+    return EnvelopeSet(frozenset(ids), env, score=score)
+
+
+class TestDominanceInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DominanceInterval(2.0, 1.0)
+
+    def test_mask(self):
+        interval = DominanceInterval(1.0, 2.0)
+        mask = interval.mask(GRID)
+        times = GRID.times
+        assert np.all(times[mask] >= 1.0)
+        assert np.all(times[mask] <= 2.0)
+        assert mask.any()
+
+
+class TestBatchDelayNoise:
+    def test_matches_scalar_implementation(self):
+        envs = [
+            sampled_set({1}, 0.8, 1.0, 1.6, 0.25),
+            sampled_set({2}, 0.5, 1.2, 2.0, 0.4),
+            sampled_set({3}, 0.0, 0.2, 0.4, 0.9),
+        ]
+        matrix = np.stack([e.env for e in envs])
+        batch = batch_delay_noise(1.0, 0.15, matrix, GRID)
+        for i, e in enumerate(envs):
+            scalar = delay_noise_sampled(1.0, 0.15, e.env, GRID)
+            assert batch[i] == pytest.approx(scalar, abs=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batch_delay_noise(1.0, 0.1, np.zeros(GRID.n), GRID)
+
+    def test_zero_envelope_zero_noise(self):
+        out = batch_delay_noise(1.0, 0.1, np.zeros((2, GRID.n)), GRID)
+        assert out == pytest.approx([0.0, 0.0])
+
+    def test_saturating_row_clamps(self):
+        matrix = np.vstack([np.zeros(GRID.n), np.full(GRID.n, 0.9)])
+        out = batch_delay_noise(1.0, 0.1, matrix, GRID)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(GRID.t_end - 1.0)
+
+
+class TestFigure6:
+    """The paper's dominance illustration."""
+
+    def setup_method(self):
+        # D is a tall wide trapezoid-ish envelope; C is nested inside it.
+        self.d = sampled_set({4}, 0.5, 1.5, 3.0, 0.5)
+        self.c = sampled_set({3}, 0.8, 1.5, 2.5, 0.3)
+        # A and B cross each other: neither encapsulates.
+        self.a = sampled_set({1}, 0.2, 0.8, 2.2, 0.45)
+        self.b = sampled_set({2}, 0.6, 2.0, 3.4, 0.35)
+        self.interval = DominanceInterval(0.5, 3.5)
+
+    def test_d_dominates_c(self):
+        assert envelope_dominates(self.d, self.c, self.interval, GRID)
+        assert not envelope_dominates(self.c, self.d, self.interval, GRID)
+
+    def test_a_b_mutually_non_dominated(self):
+        assert not envelope_dominates(self.a, self.b, self.interval, GRID)
+        assert not envelope_dominates(self.b, self.a, self.interval, GRID)
+
+    def test_reduction_drops_only_dominated(self):
+        cands = [self.a, self.b, self.c, self.d]
+        for cand in cands:
+            cand.score = float(
+                batch_delay_noise(1.0, 0.15, cand.env[None, :], GRID)[0]
+            )
+        kept, dominated = reduce_irredundant(
+            cands, self.interval, GRID, maximize=True
+        )
+        kept_ids = {tuple(sorted(c.couplings)) for c in kept}
+        assert (3,) not in kept_ids  # C dominated by D
+        assert {(1,), (2,), (4,)} <= kept_ids
+        assert dominated == 1
+
+
+class TestReduceIrredundant:
+    def test_empty(self):
+        kept, dom = reduce_irredundant(
+            [], DominanceInterval(0, 1), GRID, maximize=True
+        )
+        assert kept == [] and dom == 0
+
+    def test_cap_limits_output(self):
+        cands = [
+            sampled_set({i}, 0.5 + 0.01 * i, 1.5, 2.5, 0.1 + 0.01 * i,
+                        score=float(i))
+            for i in range(10)
+        ]
+        kept, _ = reduce_irredundant(
+            cands, DominanceInterval(0.0, 4.0), GRID,
+            maximize=True, max_sets=3,
+        )
+        assert len(kept) <= 3
+        # Best scores kept first.
+        assert kept[0].score == 9.0
+
+    def test_identical_envelopes_keep_one(self):
+        a = sampled_set({1}, 0.5, 1.5, 2.5, 0.3, score=1.0)
+        b = sampled_set({2}, 0.5, 1.5, 2.5, 0.3, score=1.0)
+        kept, dominated = reduce_irredundant(
+            [a, b], DominanceInterval(0.0, 4.0), GRID, maximize=True
+        )
+        assert len(kept) == 1 and dominated == 1
+
+    def test_interval_outside_grid_falls_back_to_score(self):
+        cands = [
+            sampled_set({1}, 0.5, 1.5, 2.5, 0.3, score=0.1),
+            sampled_set({2}, 0.5, 1.5, 2.5, 0.6, score=0.9),
+        ]
+        kept, _ = reduce_irredundant(
+            cands, DominanceInterval(10.0, 11.0), GRID,
+            maximize=True, max_sets=1,
+        )
+        assert len(kept) == 1 and kept[0].score == 0.9
+
+    def test_minimize_sorts_ascending(self):
+        # Elimination mode: smaller remaining noise first.
+        a = sampled_set({1}, 0.5, 1.5, 2.5, 0.5, score=0.2)
+        b = sampled_set({2}, 0.6, 1.5, 2.4, 0.3, score=0.8)
+        kept, _ = reduce_irredundant(
+            [a, b], DominanceInterval(0.0, 4.0), GRID, maximize=False
+        )
+        assert kept[0].score == 0.2

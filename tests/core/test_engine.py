@@ -1,0 +1,187 @@
+"""Unit tests for the TopKEngine machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ADDITION,
+    ELIMINATION,
+    SINK,
+    TopKConfig,
+    TopKEngine,
+    TopKError,
+    _shift_bump,
+)
+from repro.timing.waveform import Grid
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TopKConfig()
+
+    def test_grid_points_floor(self):
+        with pytest.raises(TopKError):
+            TopKConfig(grid_points=4)
+
+    def test_cap_validation(self):
+        with pytest.raises(TopKError):
+            TopKConfig(max_sets_per_cardinality=0)
+        TopKConfig(max_sets_per_cardinality=None)  # exact mode allowed
+
+    def test_rescore_validation(self):
+        with pytest.raises(TopKError):
+            TopKConfig(oracle_rescore_top=0)
+
+
+class TestShiftBump:
+    def test_height_saturates_at_one(self):
+        wf = _shift_bump(1.0, 0.1, 10.0)
+        assert wf.peak() == pytest.approx(1.0)
+
+    def test_small_shift_height(self):
+        wf = _shift_bump(1.0, 0.2, 0.05)
+        assert wf.peak() == pytest.approx(0.25)
+
+    def test_support(self):
+        wf = _shift_bump(1.0, 0.2, 0.3)
+        assert wf.t_start == pytest.approx(0.9)
+        assert wf.t_end == pytest.approx(1.4)
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(TopKError):
+            _shift_bump(1.0, 0.1, 0.0)
+
+    def test_bump_equals_ramp_difference(self):
+        # The defining property: bump == ramp(t50) - ramp(t50 + d).
+        from repro.timing.waveform import rising_ramp
+
+        t50, slew, d = 2.0, 0.3, 0.45
+        grid = Grid(1.0, 3.5, 1024)
+        bump = _shift_bump(t50, slew, d).sample(grid)
+        diff = rising_ramp(t50, slew)(grid.times) - rising_ramp(
+            t50 + d, slew
+        )(grid.times)
+        assert bump == pytest.approx(diff, abs=1e-9)
+
+
+class TestEngineBasics:
+    def test_bad_mode_rejected(self, tiny_design):
+        with pytest.raises(TopKError):
+            TopKEngine(tiny_design, "subtraction")
+
+    def test_contexts_cover_all_nets_plus_sink(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        assert SINK in eng.contexts
+        for net in tiny_design.netlist.nets:
+            assert net in eng.contexts
+
+    def test_sink_has_no_primaries(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        assert eng.contexts[SINK].primaries == []
+        assert set(eng.contexts[SINK].inputs) == set(
+            tiny_design.netlist.primary_outputs
+        )
+
+    def test_dominance_interval_anchored_at_t50(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        for ctx in eng.contexts.values():
+            assert ctx.interval.lo == pytest.approx(ctx.t50)
+            assert ctx.interval.hi >= ctx.interval.lo
+
+    def test_solve_k0_returns_empty(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        sol = eng.solve(0)
+        assert sol.best is None
+        assert sol.best_per_cardinality == {}
+
+    def test_negative_k_rejected(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        with pytest.raises(TopKError):
+            eng.solve(-1)
+
+    def test_incremental_solve_matches_fresh(self, tiny_design):
+        cfg = TopKConfig(max_sets_per_cardinality=None)
+        inc = TopKEngine(tiny_design, ADDITION, cfg)
+        inc.solve(1)
+        sol_inc = inc.solve(3)
+        fresh = TopKEngine(tiny_design, ADDITION, cfg).solve(3)
+        assert sol_inc.best.couplings == fresh.best.couplings
+        assert sol_inc.best.score == pytest.approx(fresh.best.score)
+
+    def test_deterministic(self, tiny_design):
+        a = TopKEngine(tiny_design, ADDITION).solve(3)
+        b = TopKEngine(tiny_design, ADDITION).solve(3)
+        assert a.best.couplings == b.best.couplings
+
+    def test_cardinality_bounded_by_k(self, tiny_design):
+        sol = TopKEngine(tiny_design, ADDITION).solve(3)
+        for i, cand in sol.best_per_cardinality.items():
+            assert cand.cardinality == i
+        assert sol.best.cardinality <= 3
+
+    def test_stats_populated(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        eng.solve(3)
+        assert eng.stats.victims > 0
+        assert eng.stats.candidates > 0
+
+    def test_elimination_has_all_aggressor_delay(self, tiny_design):
+        eng = TopKEngine(tiny_design, ELIMINATION)
+        assert eng.all_aggressor_delay is not None
+        assert eng.all_aggressor_delay >= eng.nominal.circuit_delay()
+
+    def test_elimination_contexts_have_totals(self, tiny_design):
+        eng = TopKEngine(tiny_design, ELIMINATION)
+        for ctx in eng.contexts.values():
+            assert ctx.total_env is not None
+            assert ctx.shift_tot >= 0.0
+
+
+class TestScoresMonotone:
+    def test_best_score_nondecreasing_in_k_addition(self, tiny_design):
+        eng = TopKEngine(tiny_design, ADDITION)
+        best = 0.0
+        for k in range(1, 5):
+            sol = eng.solve(k)
+            if sol.best is not None:
+                assert sol.best.score >= best - 1e-12
+                best = sol.best.score
+
+    def test_best_score_nonincreasing_in_k_elimination(self, tiny_design):
+        eng = TopKEngine(tiny_design, ELIMINATION)
+        prev = None
+        for k in range(1, 5):
+            sol = eng.solve(k)
+            if sol.best is None:
+                continue
+            if prev is not None:
+                assert sol.best.score <= prev + 1e-9
+            prev = sol.best.score
+
+
+class TestAblations:
+    def test_pseudo_off_changes_stats(self, tiny_design):
+        on = TopKEngine(tiny_design, ADDITION, TopKConfig())
+        on.solve(3)
+        off = TopKEngine(
+            tiny_design, ADDITION, TopKConfig(use_pseudo=False)
+        )
+        off.solve(3)
+        assert off.stats.pseudo_atoms == 0
+        assert on.stats.pseudo_atoms > 0
+
+    def test_higher_order_off(self, tiny_design):
+        off = TopKEngine(
+            tiny_design, ADDITION, TopKConfig(use_higher_order=False)
+        )
+        off.solve(3)
+        assert off.stats.higher_order_atoms == 0
+
+    def test_beam_cap_limits_lists(self, tiny_design):
+        eng = TopKEngine(
+            tiny_design, ADDITION, TopKConfig(max_sets_per_cardinality=2)
+        )
+        eng.solve(3)
+        for ctx in eng.contexts.values():
+            for cands in ctx.ilists.values():
+                assert len(cands) <= 2

@@ -1,0 +1,88 @@
+"""Focused tests on the elimination-mode engine internals."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ELIMINATION, SINK, TopKConfig, TopKEngine
+
+
+@pytest.fixture(scope="module")
+def engine(small_design):
+    eng = TopKEngine(small_design, ELIMINATION, TopKConfig())
+    eng.solve(4)
+    return eng
+
+
+class TestEliminationContexts:
+    def test_total_env_covers_every_candidate(self, engine):
+        """Every candidate's envelope is (approximately) a part of the
+        total envelope — the subtraction in the score stays meaningful."""
+        for ctx in engine.contexts.values():
+            if ctx.total_env is None:
+                continue
+            for cands in ctx.ilists.values():
+                for cand in cands:
+                    overshoot = np.clip(
+                        cand.env - ctx.total_env, 0.0, None
+                    ).max(initial=0.0)
+                    # Pseudo approximations may overshoot slightly; the
+                    # clip in the scorer handles the residual.
+                    assert overshoot <= 0.6
+
+    def test_scores_are_remaining_noise(self, engine):
+        """Elimination scores are bounded by the victim's total shift."""
+        for ctx in engine.contexts.values():
+            for cands in ctx.ilists.values():
+                for cand in cands:
+                    assert cand.score >= -1e-9
+                    assert cand.score <= ctx.shift_tot + 2e-2
+
+    def test_window_source_is_noisy(self, engine, small_design):
+        """Primary envelopes must come from the converged noisy windows:
+        at least one aggressor window is wider than its nominal one."""
+        from repro.timing.sta import run_sta
+
+        nominal = run_sta(small_design.netlist)
+        widened = 0
+        for ctx in engine.contexts.values():
+            for info in ctx.primary_info:
+                window = info.window
+                nom = nominal.window(info.aggressor)
+                if window.lat > nom.lat + 1e-9:
+                    widened += 1
+        assert widened > 0
+
+    def test_blocked_prevents_double_count(self, engine):
+        """Reduction atoms carry their primary coupling in `blocked`, so
+        no kept set merges a narrowing with the removal of the same
+        coupling."""
+        for ctx in engine.contexts.values():
+            for cands in ctx.ilists.values():
+                for cand in cands:
+                    assert not (cand.blocked & cand.couplings)
+
+    def test_sink_selection_is_minimum(self, engine):
+        sink = engine.contexts[SINK]
+        sol = engine.solve(4)
+        if sol.best is None:
+            pytest.skip("no candidates at sink")
+        for i, cands in sink.ilists.items():
+            for cand in cands:
+                if cand.cardinality <= 4:
+                    assert sol.best.score <= cand.score + 1e-12
+
+
+class TestHigherOrderCache:
+    def test_cache_populated(self, small_design):
+        eng = TopKEngine(small_design, "addition", TopKConfig())
+        eng.solve(3)
+        cached = sum(len(c.ho_cache) for c in eng.contexts.values())
+        if eng.stats.higher_order_atoms:
+            assert cached > 0
+
+    def test_cache_entries_match_grid(self, small_design):
+        eng = TopKEngine(small_design, "addition", TopKConfig())
+        eng.solve(3)
+        for ctx in eng.contexts.values():
+            for env in ctx.ho_cache.values():
+                assert env.shape == (ctx.grid.n,)

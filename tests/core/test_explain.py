@@ -1,0 +1,84 @@
+"""Tests for top-k set explainability."""
+
+import pytest
+
+from repro.core import TopKConfig, top_k_addition_set, top_k_elimination_set
+from repro.core.engine import TopKError
+from repro.core.explain import explain_set
+
+
+@pytest.fixture(scope="module")
+def addition_result(tiny_design):
+    return top_k_addition_set(tiny_design, 3, TopKConfig())
+
+
+@pytest.fixture(scope="module")
+def elimination_result(tiny_design):
+    return top_k_elimination_set(tiny_design, 3, TopKConfig())
+
+
+class TestExplainAddition:
+    def test_set_value_matches_result(self, tiny_design, addition_result):
+        report = explain_set(tiny_design, addition_result)
+        expected = addition_result.delay - addition_result.nominal_delay
+        assert report.set_value == pytest.approx(expected, abs=1e-9)
+
+    def test_one_contribution_per_coupling(self, tiny_design, addition_result):
+        report = explain_set(tiny_design, addition_result)
+        assert len(report.contributions) == addition_result.effective_k
+        indices = {c.index for c in report.contributions}
+        assert indices == set(addition_result.couplings)
+
+    def test_contributions_sorted(self, tiny_design, addition_result):
+        report = explain_set(tiny_design, addition_result)
+        marginals = [c.marginal_value for c in report.contributions]
+        assert marginals == sorted(marginals, reverse=True)
+
+    def test_solo_values_nonnegative(self, tiny_design, addition_result):
+        report = explain_set(tiny_design, addition_result)
+        for c in report.contributions:
+            assert c.solo_value >= -1e-9
+
+    def test_identity_set_value_equals_solo_plus_synergy(
+        self, tiny_design, addition_result
+    ):
+        report = explain_set(tiny_design, addition_result)
+        total = sum(c.solo_value for c in report.contributions)
+        assert report.set_value == pytest.approx(
+            total + report.synergy, abs=1e-9
+        )
+
+    def test_summary_text(self, tiny_design, addition_result):
+        report = explain_set(tiny_design, addition_result)
+        text = report.summary()
+        assert "adds" in text
+        assert "marginal" in text
+
+
+class TestExplainElimination:
+    def test_set_value_is_savings(self, tiny_design, elimination_result):
+        report = explain_set(tiny_design, elimination_result)
+        expected = (
+            elimination_result.all_aggressor_delay - elimination_result.delay
+        )
+        assert report.set_value == pytest.approx(expected, abs=1e-9)
+
+    def test_summary_mentions_saves(self, tiny_design, elimination_result):
+        report = explain_set(tiny_design, elimination_result)
+        assert "saves" in report.summary()
+
+    def test_marginals_bounded_by_set_value(
+        self, tiny_design, elimination_result
+    ):
+        report = explain_set(tiny_design, elimination_result)
+        for c in report.contributions:
+            assert c.marginal_value <= report.set_value + 1e-9
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self, tiny_design, addition_result):
+        import dataclasses
+
+        broken = dataclasses.replace(addition_result, mode="sideways")
+        with pytest.raises(TopKError):
+            explain_set(tiny_design, broken)

@@ -1,0 +1,92 @@
+"""The solver's fast vectorized samplers must match the exact
+Waveform-based constructions they replaced — bit-for-bit within float
+tolerance, over randomized parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    _sample_primary,
+    _sample_shift_bump,
+    _sample_trapezoid,
+    _shift_bump,
+)
+from repro.noise.envelope import primary_envelope
+from repro.noise.pulse import NoisePulse
+from repro.timing.waveform import Grid, trapezoid
+from repro.timing.windows import TimingWindow
+
+GRID = Grid(-2.0, 8.0, 1024)
+
+
+class TestSampleTrapezoid:
+    @given(
+        t0=st.floats(-1.0, 3.0),
+        rise=st.floats(0.001, 2.0),
+        top=st.floats(0.0, 2.0),
+        fall=st.floats(0.001, 2.0),
+        h=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_waveform_trapezoid(self, t0, rise, top, fall, h):
+        t1 = t0 + rise
+        t2 = t1 + top
+        t3 = t2 + fall
+        fast = _sample_trapezoid(GRID.times, t0, t1, t2, t3, h)
+        exact = trapezoid(t0, t1, t2, t3, h).sample(GRID)
+        assert fast == pytest.approx(exact, abs=1e-9)
+
+    def test_degenerate_point(self):
+        fast = _sample_trapezoid(GRID.times, 1.0, 1.0, 1.0, 1.0, 0.5)
+        # A zero-width trapezoid contributes (essentially) nothing.
+        assert fast.max() <= 0.5
+        assert (fast > 0).sum() <= 2
+
+
+class TestSamplePrimary:
+    @given(
+        peak=st.floats(0.0, 1.0),
+        rise=st.floats(0.001, 0.5),
+        decay=st.floats(0.001, 1.0),
+        eat=st.floats(0.0, 2.0),
+        width=st.floats(0.0, 2.0),
+        widen=st.floats(0.0, 1.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_primary_envelope(
+        self, peak, rise, decay, eat, width, widen
+    ):
+        pulse = NoisePulse(peak=peak, rise=rise, decay=decay, lead=rise / 2)
+        window = TimingWindow(eat, eat + width)
+        fast = _sample_primary(GRID.times, pulse, window, widen=widen)
+        exact = primary_envelope(
+            "v", pulse, TimingWindow(eat, eat + width + widen)
+        ).sample(GRID)
+        assert fast == pytest.approx(exact, abs=1e-9)
+
+
+class TestSampleShiftBump:
+    @given(
+        t50=st.floats(0.0, 4.0),
+        slew=st.floats(0.01, 1.0),
+        delta=st.floats(1e-6, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_shift_bump_waveform(self, t50, slew, delta):
+        fast = _sample_shift_bump(GRID.times, t50, slew, delta)
+        exact = _shift_bump(t50, slew, delta).sample(GRID)
+        assert fast == pytest.approx(exact, abs=1e-9)
+
+    @given(
+        t50=st.floats(0.0, 4.0),
+        slew=st.floats(0.01, 1.0),
+        delta=st.floats(1e-4, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_height_is_clamped_shift_ratio(self, t50, slew, delta):
+        fast = _sample_shift_bump(GRID.times, t50, slew, delta)
+        expected_peak = min(1.0, delta / slew)
+        # The grid may miss the exact apex; it can only undershoot.
+        assert fast.max() <= expected_peak + 1e-9

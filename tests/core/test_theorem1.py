@@ -1,0 +1,77 @@
+"""Property-based test of the paper's Theorem 1.
+
+If aggressor set P dominates (pointwise encapsulates) aggressor set Q over
+the dominance interval, then for ANY additional aggressor 'a', the delay
+noise of P + a is never smaller than that of Q + a.
+
+We generate random triangular envelopes on a shared victim grid and check
+the theorem wherever the dominance premise holds.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import batch_delay_noise
+from repro.noise.envelope import ENCAPSULATION_TOL, NoiseEnvelope
+from repro.timing.waveform import Grid, triangle
+
+GRID = Grid(0.0, 6.0, 768)
+T50 = 2.0
+SLEW = 0.3
+
+
+def tri_env(t0, rise, fall, h):
+    return NoiseEnvelope("v", triangle(t0, t0 + rise, t0 + rise + fall, h)).sample(
+        GRID
+    )
+
+
+tri_params = st.tuples(
+    st.floats(0.0, 4.0),   # start
+    st.floats(0.01, 1.0),  # rise
+    st.floats(0.01, 2.0),  # fall
+    st.floats(0.0, 0.45),  # height
+)
+
+
+def dn(env):
+    return float(batch_delay_noise(T50, SLEW, env[None, :], GRID)[0])
+
+
+class TestTheorem1:
+    @given(p=tri_params, q=tri_params, a=tri_params)
+    @settings(max_examples=200, deadline=None)
+    def test_dominated_extension_never_wins(self, p, q, a):
+        env_p = tri_env(*p)
+        env_q = tri_env(*q)
+        env_a = tri_env(*a)
+        # Premise: P dominates Q over the dominance interval [t50, grid end].
+        # One grid step of margin below t50 covers the crossing segment
+        # that straddles t50 (pure discretization; the continuous theorem
+        # needs only t >= t50).
+        mask = GRID.times >= T50 - 2 * GRID.dt
+        assume(np.all(env_p[mask] >= env_q[mask] - ENCAPSULATION_TOL))
+        noise_p = dn(env_p + env_a)
+        noise_q = dn(env_q + env_a)
+        # Theorem 1: delay noise of P u {a} >= that of Q u {a}.
+        assert noise_p >= noise_q - 1e-9
+
+    @given(p=tri_params, a=tri_params)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_an_aggressor_never_reduces_noise(self, p, a):
+        env_p = tri_env(*p)
+        env_a = tri_env(*a)
+        assert dn(env_p + env_a) >= dn(env_p) - 1e-9
+
+    @given(p=tri_params, q=tri_params)
+    @settings(max_examples=100, deadline=None)
+    def test_dominance_implies_higher_noise(self, p, q):
+        env_p = tri_env(*p)
+        env_q = tri_env(*q)
+        # One grid step of margin below t50 covers the crossing segment
+        # that straddles t50 (pure discretization; the continuous theorem
+        # needs only t >= t50).
+        mask = GRID.times >= T50 - 2 * GRID.dt
+        assume(np.all(env_p[mask] >= env_q[mask] - ENCAPSULATION_TOL))
+        assert dn(env_p) >= dn(env_q) - 1e-9

@@ -1,0 +1,70 @@
+"""Validation of the proposed algorithm against brute force (Table 1).
+
+On brute-forceable designs the algorithm must find sets whose exact
+(oracle) delay matches the brute-force optimum to within a small relative
+tolerance — the residual being the difference between the solver's
+one-shot superposition model and the iterative oracle's higher-order
+window feedback (see EXPERIMENTS.md, Table 1 discussion).
+"""
+
+import pytest
+
+from repro.circuit.generator import random_design
+from repro.core import (
+    TopKConfig,
+    brute_force_top_k,
+    top_k_addition_set,
+    top_k_elimination_set,
+)
+
+#: Relative delay tolerance between algorithm and brute-force optimum.
+TOL = 2.5e-3
+
+CFG = TopKConfig(max_sets_per_cardinality=None, oracle_rescore_top=8)
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+@pytest.mark.parametrize("k", [1, 2])
+class TestAdditionMatchesBruteForce:
+    def test_delay_matches(self, seed, k):
+        design = random_design("bfv", n_gates=12, target_caps=14, seed=seed)
+        alg = top_k_addition_set(design, k, CFG)
+        bf = brute_force_top_k(design, k, "addition", timeout_s=300)
+        assert bf.complete
+        assert alg.delay == pytest.approx(bf.delay, rel=TOL)
+        # The brute-force optimum never loses to the algorithm's set.
+        assert bf.delay >= alg.delay - 1e-9
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+class TestEliminationMatchesBruteForce:
+    def test_k1_exact(self, seed):
+        design = random_design("bfv", n_gates=12, target_caps=14, seed=seed)
+        alg = top_k_elimination_set(design, 1, CFG)
+        bf = brute_force_top_k(design, 1, "elimination", timeout_s=300)
+        assert bf.complete
+        assert alg.couplings == bf.best_couplings
+        assert alg.delay == pytest.approx(bf.delay, rel=1e-9)
+
+    def test_k2_delay_close(self, seed):
+        design = random_design("bfv", n_gates=12, target_caps=14, seed=seed)
+        alg = top_k_elimination_set(design, 2, CFG)
+        bf = brute_force_top_k(design, 2, "elimination", timeout_s=300)
+        assert bf.complete
+        assert alg.delay == pytest.approx(bf.delay, rel=TOL)
+        assert bf.delay <= alg.delay + 1e-9
+
+
+class TestTopOneExactness:
+    """k = 1 on these specific seeds: the winners are decided by
+    first-order effects and the match is exact.  (In general even k = 1
+    carries a sub-0.3% model-vs-oracle residual — a coupling couples both
+    directions and feeds back through the iteration — covered by
+    test_property_random_designs.py.)"""
+
+    @pytest.mark.parametrize("seed", [3, 7, 11, 19])
+    def test_top1_addition_set_identical(self, seed):
+        design = random_design("bfv", n_gates=12, target_caps=14, seed=seed)
+        alg = top_k_addition_set(design, 1, CFG)
+        bf = brute_force_top_k(design, 1, "addition", timeout_s=300)
+        assert alg.delay == pytest.approx(bf.delay, rel=1e-6)

@@ -1,0 +1,63 @@
+"""Tests for the api facade."""
+
+import pytest
+
+from repro.api import AnalysisConfig, analyze, circuit_delay
+from repro.core.engine import TopKConfig, TopKError
+
+
+class TestAnalyze:
+    def test_addition_mode(self, tiny_design):
+        r = analyze(tiny_design, k=2, mode="addition")
+        assert r.mode == "addition"
+
+    def test_elimination_mode(self, tiny_design):
+        r = analyze(tiny_design, k=2, mode="elimination")
+        assert r.mode == "elimination"
+
+    def test_bad_mode(self, tiny_design):
+        with pytest.raises(TopKError):
+            analyze(tiny_design, k=2, mode="bogus")
+
+    def test_config_alias(self):
+        assert AnalysisConfig is TopKConfig
+
+    def test_custom_config_passes_through(self, tiny_design):
+        cfg = AnalysisConfig(evaluate_with_oracle=False)
+        r = analyze(tiny_design, k=2, config=cfg)
+        assert r.delay is None
+
+
+class TestCircuitDelay:
+    def test_none_all_ordering(self, tiny_design):
+        none = circuit_delay(tiny_design, "none")
+        everything = circuit_delay(tiny_design, "all")
+        assert none <= everything
+
+    def test_subset(self, tiny_design):
+        ids = frozenset(list(tiny_design.coupling.all_indices())[:3])
+        mid = circuit_delay(tiny_design, ids)
+        assert circuit_delay(tiny_design, "none") - 1e-9 <= mid
+        assert mid <= circuit_delay(tiny_design, "all") + 1e-9
+
+    def test_empty_subset_equals_none(self, tiny_design):
+        assert circuit_delay(tiny_design, frozenset()) == pytest.approx(
+            circuit_delay(tiny_design, "none")
+        )
+
+    def test_bad_keyword(self, tiny_design):
+        with pytest.raises(ValueError):
+            circuit_delay(tiny_design, "some")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,94 @@
+"""Tests for the benchmark harness helpers (benchmarks/common.py etc.).
+
+The harness is the deliverable that regenerates the paper's tables; its
+formatting and schedules deserve the same guarding as library code.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import common  # noqa: E402
+
+
+class TestSchedules:
+    def test_quick_mode_defaults(self, monkeypatch):
+        monkeypatch.setattr(common, "FULL", False)
+        assert common.circuits() == common.QUICK_CIRCUITS
+        assert common.ks() == common.QUICK_KS
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.setattr(common, "FULL", True)
+        assert common.circuits() == common.PAPER_CIRCUITS
+        assert common.ks() == common.PAPER_KS
+        assert len(common.PAPER_CIRCUITS) == 10
+
+    def test_paper_ks_match_table2_columns(self):
+        assert common.PAPER_KS == (1, 5, 10, 15, 20, 30, 40, 50)
+
+
+class TestDesignCache:
+    def test_design_cached(self):
+        a = common.design("i1")
+        b = common.design("i1")
+        assert a is b
+
+    def test_baseline_delays_ordered(self):
+        base = common.baseline_delays("i1")
+        assert 0 < base["none"] <= base["all"]
+
+
+class TestFormatting:
+    def test_header_and_row_align(self):
+        ks = [1, 5]
+        header = common.table2_header("addition", ks)
+        points = common.addition_series("i1", ks)
+        row = common.format_table2_row("i1", points, "addition")
+        # Row carries circuit stats, the anchor, delays and runtimes.
+        assert row.split()[0] == "i1"
+        assert "|" in row
+        assert "no agg." in header
+        # Each k appears twice: a delay column and a runtime column.
+        assert header.count("k=") == 2 * len(ks)
+
+    def test_elimination_header_anchor(self):
+        header = common.table2_header("elimination", [1])
+        assert "all agg." in header
+
+
+class TestHarnessMain:
+    def test_figure10_prints_plot(self, capsys, monkeypatch):
+        monkeypatch.setattr(common, "FULL", False)
+        import harness
+
+        # Reuse the cached series; the quick figure-10 schedule is small.
+        monkeypatch.setattr(
+            sys.modules["bench_figure10"]
+            if "bench_figure10" in sys.modules
+            else __import__("bench_figure10"),
+            "FIG10_KS",
+            (1, 3),
+            raising=False,
+        )
+        rc = harness.main(["figure10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "k=1" in out
+
+    def test_table2a_prints_rows(self, capsys, monkeypatch):
+        import harness
+
+        monkeypatch.setattr(common, "FULL", False)
+        monkeypatch.setattr(common, "QUICK_CIRCUITS", ("i1",))
+        monkeypatch.setattr(common, "QUICK_KS", (1, 5))
+        rc = harness.main(["table2a"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2(a)" in out
+        assert "i1" in out

@@ -1,0 +1,78 @@
+"""Smoke-run every example script: the documentation must execute.
+
+Each example is run in-process (imported as __main__-style via its main())
+where possible, or with reduced arguments, so the suite stays fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "noiseless delay" in out
+        assert "top-5 addition set" in out
+        assert "top-5 elimination set" in out
+
+    def test_shielding_advisor(self):
+        out = run_example(
+            "shielding_advisor.py", "--cycles", "2", "--budget-per-cycle", "3"
+        )
+        assert "shielding advisor" in out
+        assert "cycle" in out
+
+    def test_aggressor_budgeting(self):
+        out = run_example(
+            "aggressor_budgeting.py", "--ks", "1", "4", "8",
+            "--coverage", "0.1",
+        )
+        assert "captured" in out
+        assert "recommended aggressor budget" in out or "no budget" in out
+
+    def test_user_circuit_flow(self):
+        out = run_example("user_circuit_flow.py", "--k", "2")
+        assert "noise analysis" in out
+        assert "addition set" in out
+
+    def test_convergence_study(self, tmp_path):
+        csv_path = tmp_path / "fig10.csv"
+        out = run_example(
+            "convergence_study.py", "--kmax", "6", "--csv", str(csv_path)
+        )
+        assert "addition" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("k,addition_ns,elimination_ns")
+
+    def test_noise_signoff(self):
+        out = run_example("noise_signoff.py", "--margin", "0.8", "--k-max", "16")
+        assert "noise signoff" in out
+
+    def test_crosstalk_hotspots(self):
+        out = run_example("crosstalk_hotspots.py", "--count", "4")
+        assert "hotspots" in out
+        assert "coupling communities" in out
+        assert "functional noise" in out
+
+    def test_paper_walkthrough(self):
+        out = run_example("paper_walkthrough.py")
+        assert "I-list_1" in out
+        assert "pseudo" in out
+        assert "dominance pruned" in out

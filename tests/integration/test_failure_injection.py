@@ -1,0 +1,97 @@
+"""Failure-injection tests: malformed inputs must produce diagnostics,
+not crashes or silent nonsense."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingError, CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.netlist import Netlist, NetlistError
+from repro.core import TopKEngine, TopKError, top_k_addition_set
+from repro.noise.analysis import analyze_noise
+from repro.timing.sta import run_sta
+
+
+def cyclic_netlist():
+    nl = Netlist("cyclic", default_library())
+    nl.add_primary_input("a")
+    nl.add_gate("g1", "NAND2_X1", ["a", "q"], "p")
+    nl.add_gate("g2", "INV_X1", ["p"], "q")
+    nl.add_primary_output("q")
+    return nl
+
+
+class TestStructuralFailures:
+    def test_cyclic_netlist_fails_sta(self):
+        with pytest.raises(NetlistError, match="cycle"):
+            run_sta(cyclic_netlist())
+
+    def test_cyclic_netlist_fails_topk(self):
+        nl = cyclic_netlist()
+        cg = CouplingGraph(nl)
+        cg.add("p", "q", 1.0)
+        design = Design(netlist=nl, coupling=cg)
+        with pytest.raises(NetlistError, match="cycle"):
+            top_k_addition_set(design, 1)
+
+    def test_undriven_net_fails_analysis(self):
+        nl = Netlist("u", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g", "INV_X1", ["a"], "y")
+        nl.add_primary_output("y")
+        nl.add_net("floating")
+        cg = CouplingGraph(nl)
+        design = Design(netlist=nl, coupling=cg)
+        with pytest.raises(NetlistError):
+            analyze_noise(design)
+
+    def test_coupling_to_unknown_net(self):
+        nl = Netlist("u", default_library())
+        nl.add_primary_input("a")
+        cg = CouplingGraph(nl)
+        with pytest.raises(NetlistError):
+            cg.add("a", "ghost", 1.0)
+
+    def test_no_primary_outputs_fails_delay(self):
+        nl = Netlist("u", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g", "INV_X1", ["a"], "y")
+        from repro.timing.sta import TimingError
+
+        timing = run_sta(nl)
+        with pytest.raises(TimingError, match="no primary outputs"):
+            timing.circuit_delay()
+
+
+class TestDegenerateQueries:
+    def test_design_without_couplings(self):
+        nl = Netlist("nc", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g", "INV_X1", ["a"], "y")
+        nl.add_primary_output("y")
+        design = Design(netlist=nl, coupling=CouplingGraph(nl))
+        res = analyze_noise(design)
+        assert res.delay_noise == {}
+        r = top_k_addition_set(design, 3)
+        assert r.couplings == frozenset()
+        assert r.delay == pytest.approx(res.circuit_delay())
+
+    def test_restricting_to_unknown_coupling(self, tiny_design):
+        with pytest.raises(CouplingError):
+            tiny_design.coupling.restricted(frozenset({10_000}))
+
+    def test_engine_rejects_bad_mode(self, tiny_design):
+        with pytest.raises(TopKError):
+            TopKEngine(tiny_design, "both")
+
+    def test_single_gate_design(self):
+        nl = Netlist("one", default_library())
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_gate("g", "NAND2_X1", ["a", "b"], "y")
+        nl.add_primary_output("y")
+        cg = CouplingGraph(nl)
+        cg.add("a", "y", 1.0)
+        design = Design(netlist=nl, coupling=cg)
+        r = top_k_addition_set(design, 1)
+        assert r.delay is not None

@@ -1,0 +1,58 @@
+"""Generator-calibration robustness: the reproduced shapes must not hinge
+on one lucky seed.
+
+The benchmark stand-ins are seeded synthetics; these tests rebuild
+i1-class designs with several seeds and assert that the calibrated
+physics (noise ratio band, convergence) and the algorithmic shapes
+(monotone sweeps, crossover direction) hold for each.
+"""
+
+import pytest
+
+from repro.circuit.generator import PAPER_BENCHMARKS, make_paper_benchmark
+from repro.core import top_k_addition_sweep, top_k_elimination_sweep
+from repro.noise.analysis import analyze_noise
+from repro.timing.sta import run_sta
+
+SEEDS = (1, 17, 101)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_i1(request):
+    return make_paper_benchmark("i1", seed=request.param)
+
+
+class TestCalibrationBand:
+    def test_noise_ratio_in_band(self, seeded_i1):
+        nominal = run_sta(seeded_i1.netlist).circuit_delay()
+        result = analyze_noise(seeded_i1)
+        ratio = result.circuit_delay() / nominal
+        # Calibrated band: a few percent to ~40% delay noise (the paper's
+        # benchmarks sit between ~5% and ~36%).
+        assert 1.005 < ratio < 1.45
+
+    def test_iteration_count_industrial(self, seeded_i1):
+        result = analyze_noise(seeded_i1)
+        assert result.converged
+        # Paper: industrial tools need 3-4 iterations; allow headroom.
+        assert result.iterations <= 9
+
+    def test_statistics_always_match_spec(self, seeded_i1):
+        spec = PAPER_BENCHMARKS["i1"]
+        assert seeded_i1.netlist.gate_count() == spec.gates
+        assert len(seeded_i1.coupling) == spec.coupling_caps
+
+
+class TestShapeRobustness:
+    def test_sweep_shapes(self, seeded_i1):
+        ks = [1, 4, 8]
+        add = top_k_addition_sweep(seeded_i1, ks)
+        elim = top_k_elimination_sweep(seeded_i1, ks)
+        add_delays = [p.delay for p in add]
+        elim_delays = [p.delay for p in elim]
+        for a, b in zip(add_delays, add_delays[1:]):
+            assert b >= a - 1e-6
+        for a, b in zip(elim_delays, elim_delays[1:]):
+            assert b <= a + 1e-6
+        # Elimination curve starts above the addition curve at small k.
+        assert elim_delays[0] > add_delays[0]

@@ -1,0 +1,90 @@
+"""Unit tests for switching-activity analysis and exclusion derivation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.netlist import Netlist
+from repro.logic.activity import (
+    derive_exclusions,
+    measure_activity,
+    toggles,
+)
+from repro.noise.analysis import NoiseConfig, analyze_noise
+
+
+@pytest.fixture()
+def design_with_constant_net():
+    """x = a AND !a is constant 0 -> any coupling to it is false."""
+    nl = Netlist("const", default_library())
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    nl.add_gate("gn", "INV_X1", ["a"], "na")
+    nl.add_gate("gc", "AND2_X1", ["a", "na"], "const0")
+    nl.add_gate("gb", "INV_X1", ["b"], "nb")
+    nl.add_gate("go", "NAND2_X1", ["const0", "nb"], "y")
+    nl.add_primary_output("y")
+    cg = CouplingGraph(nl)
+    cg.add("const0", "nb", 1.0)   # coupling to a constant net
+    cg.add("na", "nb", 0.8)       # live coupling
+    return Design(netlist=nl, coupling=cg)
+
+
+class TestToggles:
+    def test_basic(self):
+        vec = np.array([False, True, True, False])
+        assert list(toggles(vec)) == [True, False, True]
+
+    def test_constant(self):
+        assert not toggles(np.array([True] * 5)).any()
+
+
+class TestMeasureActivity:
+    def test_constant_net_detected(self, design_with_constant_net):
+        report = measure_activity(design_with_constant_net, n_vectors=256)
+        assert "const0" in report.constant_nets()
+        assert report.toggle_rate["const0"] == 0.0
+
+    def test_live_nets_toggle(self, design_with_constant_net):
+        report = measure_activity(design_with_constant_net, n_vectors=256)
+        assert report.toggle_rate["na"] > 0.1
+
+    def test_joint_rate_zero_for_constant_coupling(
+        self, design_with_constant_net
+    ):
+        report = measure_activity(design_with_constant_net, n_vectors=256)
+        assert report.joint_toggle_rate[0] == 0.0
+        assert report.joint_toggle_rate[1] > 0.0
+
+    def test_quiet_couplings(self, design_with_constant_net):
+        report = measure_activity(design_with_constant_net, n_vectors=256)
+        assert report.quiet_couplings() == frozenset({0})
+
+    def test_cycles_counted(self, design_with_constant_net):
+        report = measure_activity(design_with_constant_net, n_vectors=100)
+        assert report.cycles == 99
+
+
+class TestDeriveExclusions:
+    def test_excludes_constant_coupling(self, design_with_constant_net):
+        exclusions = derive_exclusions(
+            design_with_constant_net, n_vectors=256
+        )
+        assert exclusions.excludes("const0", "nb")
+        assert not exclusions.excludes("na", "nb")
+
+    def test_too_few_vectors_rejected(self, design_with_constant_net):
+        with pytest.raises(ValueError, match="at least"):
+            derive_exclusions(design_with_constant_net, n_vectors=10)
+
+    def test_exclusions_reduce_noise(self, design_with_constant_net):
+        design = design_with_constant_net
+        base = analyze_noise(design).circuit_delay()
+        exclusions = derive_exclusions(design, n_vectors=256)
+        filtered = analyze_noise(
+            design, config=NoiseConfig(exclusions=exclusions)
+        ).circuit_delay()
+        # Dropping a false aggressor can only reduce (or keep) the delay.
+        assert filtered <= base + 1e-12

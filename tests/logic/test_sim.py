@@ -1,0 +1,110 @@
+"""Unit tests for the vectorized logic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.netlist import Netlist
+from repro.logic.sim import SimulationError, simulate, truth_assignment
+
+
+@pytest.fixture()
+def lib():
+    return default_library()
+
+
+def single_gate_netlist(lib, cell_name, n_inputs):
+    nl = Netlist("g", lib)
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    for name in inputs:
+        nl.add_primary_input(name)
+    nl.add_gate("g0", cell_name, inputs, "out")
+    nl.add_primary_output("out")
+    return nl, inputs
+
+
+TRUTH_TABLES = {
+    # cell -> {input tuple: output}
+    "INV_X1": {(False,): True, (True,): False},
+    "BUF_X1": {(False,): False, (True,): True},
+    "AND2_X1": {(True, True): True, (True, False): False,
+                (False, False): False},
+    "NAND2_X1": {(True, True): False, (True, False): True,
+                 (False, False): True},
+    "OR2_X1": {(False, False): False, (True, False): True},
+    "NOR2_X1": {(False, False): True, (True, False): False},
+    "XOR2_X1": {(True, False): True, (True, True): False,
+                (False, False): False},
+    "XNOR2_X1": {(True, False): False, (True, True): True},
+    "AOI21_X1": {
+        (True, True, False): False,   # A1&A2 -> 0
+        (False, False, True): False,  # B -> 0
+        (False, False, False): True,
+        (True, False, False): True,
+    },
+    "OAI21_X1": {
+        (True, False, True): False,   # (A1|A2)&B -> 0
+        (False, False, True): True,
+        (True, True, False): True,
+    },
+}
+
+
+class TestGateFunctions:
+    @pytest.mark.parametrize("cell_name", sorted(TRUTH_TABLES))
+    def test_truth_table(self, lib, cell_name):
+        table = TRUTH_TABLES[cell_name]
+        n_inputs = len(next(iter(table)))
+        nl, inputs = single_gate_netlist(lib, cell_name, n_inputs)
+        for pattern, expected in table.items():
+            assignment = dict(zip(inputs, pattern))
+            values = truth_assignment(nl, assignment)
+            assert values["out"] == expected, (cell_name, pattern)
+
+
+class TestSimulate:
+    @pytest.fixture()
+    def xor_chain(self, lib):
+        nl = Netlist("xc", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_gate("g1", "XOR2_X1", ["a", "b"], "x")
+        nl.add_gate("g2", "INV_X1", ["x"], "y")
+        nl.add_primary_output("y")
+        return nl
+
+    def test_batch_consistency(self, xor_chain):
+        values = simulate(xor_chain, n_vectors=64, seed=1)
+        expected = ~(values["a"] ^ values["b"])
+        assert np.array_equal(values["y"], expected)
+
+    def test_deterministic(self, xor_chain):
+        a = simulate(xor_chain, n_vectors=32, seed=7)
+        b = simulate(xor_chain, n_vectors=32, seed=7)
+        for net in a:
+            assert np.array_equal(a[net], b[net])
+
+    def test_explicit_stimulus(self, xor_chain):
+        stim = {
+            "a": np.array([True, True, False]),
+            "b": np.array([True, False, False]),
+        }
+        values = simulate(xor_chain, stimulus=stim)
+        assert list(values["y"]) == [True, False, True]
+
+    def test_partial_stimulus_filled(self, xor_chain):
+        stim = {"a": np.array([True] * 16)}
+        values = simulate(xor_chain, stimulus=stim, seed=3)
+        assert len(values["b"]) == 16
+
+    def test_mixed_lengths_rejected(self, xor_chain):
+        stim = {
+            "a": np.array([True, False]),
+            "b": np.array([True]),
+        }
+        with pytest.raises(SimulationError, match="mixed lengths"):
+            simulate(xor_chain, stimulus=stim)
+
+    def test_every_net_simulated(self, xor_chain):
+        values = simulate(xor_chain, n_vectors=8)
+        assert set(values) == set(xor_chain.nets)

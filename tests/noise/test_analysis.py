@@ -1,0 +1,124 @@
+"""Unit and integration tests for the iterative noise analysis."""
+
+import pytest
+
+from repro.noise.analysis import (
+    NoiseConfig,
+    analyze_noise,
+    circuit_delay_with_couplings,
+    victim_envelopes,
+)
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import run_sta
+
+
+class TestConfig:
+    def test_bad_start_mode(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(start="sideways")
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(max_iterations=0)
+
+
+class TestAnalyzeNoise:
+    def test_converges_on_small_design(self, tiny_design):
+        res = analyze_noise(tiny_design)
+        assert res.converged
+        assert res.iterations <= NoiseConfig().max_iterations
+
+    def test_noisy_delay_at_least_nominal(self, tiny_design):
+        res = analyze_noise(tiny_design)
+        assert res.circuit_delay() >= res.nominal_delay() - 1e-12
+        assert res.total_delay_noise() >= 0.0
+
+    def test_no_couplings_equals_sta(self, tiny_design):
+        view = tiny_design.coupling.restricted(frozenset())
+        res = analyze_noise(tiny_design, coupling=view)
+        sta = run_sta(tiny_design.netlist)
+        assert res.circuit_delay() == pytest.approx(sta.circuit_delay())
+        assert res.delay_noise == {}
+
+    def test_optimistic_and_pessimistic_agree(self, tiny_design):
+        opt = analyze_noise(tiny_design, config=NoiseConfig(start="optimistic"))
+        pes = analyze_noise(
+            tiny_design, config=NoiseConfig(start="pessimistic")
+        )
+        assert opt.circuit_delay() == pytest.approx(
+            pes.circuit_delay(), rel=1e-3
+        )
+
+    def test_subset_delay_between_none_and_all(self, tiny_design):
+        none_delay = run_sta(tiny_design.netlist).circuit_delay()
+        all_delay = analyze_noise(tiny_design).circuit_delay()
+        some = frozenset(list(tiny_design.coupling.all_indices())[:5])
+        mid_delay = circuit_delay_with_couplings(tiny_design, some)
+        assert none_delay - 1e-9 <= mid_delay <= all_delay + 1e-9
+
+    def test_monotone_in_coupling_subsets(self, tiny_design):
+        # Adding a coupling never reduces the circuit delay.
+        ids = sorted(tiny_design.coupling.all_indices())
+        prev = 0.0
+        for n in (0, 3, 7, len(ids)):
+            delay = circuit_delay_with_couplings(
+                tiny_design, frozenset(ids[:n])
+            )
+            assert delay >= prev - 1e-6
+            prev = delay
+
+    def test_noisiest_nets_sorted(self, tiny_design):
+        res = analyze_noise(tiny_design)
+        ranked = res.noisiest_nets(5)
+        values = [res.delay_noise[n] for n in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_graph_reuse(self, tiny_design):
+        graph = TimingGraph.from_netlist(tiny_design.netlist)
+        a = analyze_noise(tiny_design, graph=graph)
+        b = analyze_noise(tiny_design)
+        assert a.circuit_delay() == pytest.approx(b.circuit_delay())
+
+
+class TestVictimEnvelopes:
+    def test_envelopes_per_aggressor(self, chain_design):
+        timing = run_sta(chain_design.netlist)
+        envs = victim_envelopes(
+            chain_design.netlist, chain_design.coupling, "n2", timing
+        )
+        # n2 couples to n1 and b; both windows overlap (everything is near
+        # t=0), so both envelopes exist unless filtered by t50.
+        assert len(envs) <= 2
+        for e in envs:
+            assert e.victim == "n2"
+            assert e.peak > 0
+
+    def test_window_filter_drops_disjoint(self, chain_design):
+        from repro.timing.windows import TimingWindow
+
+        timing = run_sta(chain_design.netlist)
+        far = {n: TimingWindow(100.0, 101.0) for n in ("n1", "b", "n3")}
+        envs = victim_envelopes(
+            chain_design.netlist,
+            chain_design.coupling,
+            "n2",
+            timing,
+            aggressor_windows=far,
+        )
+        assert envs == []
+
+    def test_exclusions_respected(self, chain_design):
+        from repro.noise.filters import LogicalExclusions
+
+        timing = run_sta(chain_design.netlist)
+        cfg = NoiseConfig(
+            exclusions=LogicalExclusions.from_pairs([("n2", "n1"), ("n2", "b")])
+        )
+        envs = victim_envelopes(
+            chain_design.netlist,
+            chain_design.coupling,
+            "n2",
+            timing,
+            config=cfg,
+        )
+        assert envs == []

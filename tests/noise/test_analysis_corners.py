@@ -1,0 +1,92 @@
+"""Corner cases of the iterative analysis: strict mode, seeding,
+tolerance, and fixpoint monotonicity."""
+
+import pytest
+
+from repro.noise.analysis import (
+    ConvergenceError,
+    NoiseConfig,
+    analyze_noise,
+)
+
+
+class TestStrictMode:
+    def test_strict_raises_on_budget_exhaustion(self, tiny_design):
+        cfg = NoiseConfig(max_iterations=1, strict=True, tolerance_ns=0.0)
+        with pytest.raises(ConvergenceError):
+            analyze_noise(tiny_design, config=cfg)
+
+    def test_non_strict_returns_unconverged(self, tiny_design):
+        cfg = NoiseConfig(max_iterations=1, strict=False, tolerance_ns=0.0)
+        res = analyze_noise(tiny_design, config=cfg)
+        assert not res.converged
+        assert res.iterations == 1
+
+
+class TestSeeding:
+    def test_pessimistic_first_iterate_not_below_optimistic(
+        self, tiny_design
+    ):
+        # After ONE iteration, the pessimistic seeding (infinite windows)
+        # must over-estimate relative to the optimistic seeding.
+        one_pes = analyze_noise(
+            tiny_design,
+            config=NoiseConfig(
+                start="pessimistic", max_iterations=2, tolerance_ns=0.0
+            ),
+        )
+        one_opt = analyze_noise(
+            tiny_design,
+            config=NoiseConfig(
+                start="optimistic", max_iterations=2, tolerance_ns=0.0
+            ),
+        )
+        assert one_pes.circuit_delay() >= one_opt.circuit_delay() - 1e-9
+
+    def test_optimistic_iterates_monotone_nondecreasing(self, tiny_design):
+        # The optimistic fixpoint iteration climbs the lattice: more
+        # iterations never reduce the circuit delay.
+        delays = []
+        for iters in (1, 2, 3, 6):
+            res = analyze_noise(
+                tiny_design,
+                config=NoiseConfig(
+                    start="optimistic",
+                    max_iterations=iters,
+                    tolerance_ns=0.0,
+                ),
+            )
+            delays.append(res.circuit_delay())
+        for a, b in zip(delays, delays[1:]):
+            assert b >= a - 1e-9
+
+
+class TestTolerance:
+    def test_loose_tolerance_converges_fast(self, tiny_design):
+        res = analyze_noise(
+            tiny_design, config=NoiseConfig(tolerance_ns=1.0)
+        )
+        assert res.converged
+        assert res.iterations <= 3
+
+    def test_tight_tolerance_costs_iterations(self, tiny_design):
+        loose = analyze_noise(
+            tiny_design, config=NoiseConfig(tolerance_ns=1e-2)
+        )
+        tight = analyze_noise(
+            tiny_design, config=NoiseConfig(tolerance_ns=1e-9)
+        )
+        assert tight.iterations >= loose.iterations
+
+
+class TestGridResolution:
+    def test_result_stable_across_resolutions(self, tiny_design):
+        coarse = analyze_noise(
+            tiny_design, config=NoiseConfig(grid_points=96)
+        )
+        fine = analyze_noise(
+            tiny_design, config=NoiseConfig(grid_points=768)
+        )
+        assert coarse.circuit_delay() == pytest.approx(
+            fine.circuit_delay(), rel=5e-3
+        )

@@ -1,0 +1,136 @@
+"""Unit and property tests for noise envelopes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.envelope import (
+    EnvelopeError,
+    NoiseEnvelope,
+    combine,
+    primary_envelope,
+)
+from repro.noise.pulse import NoisePulse
+from repro.timing.waveform import Grid, triangle
+from repro.timing.windows import TimingWindow
+
+
+def pulse(peak=0.3, rise=0.1, decay=0.2):
+    return NoisePulse(peak=peak, rise=rise, decay=decay, lead=rise / 2)
+
+
+class TestPrimaryEnvelope:
+    def test_trapezoid_shape(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 2.0))
+        # Rising flank anchored at the EAT pulse, plateau through LAT.
+        assert env.t_start == pytest.approx(1.0 - 0.05)
+        assert env.peak == pytest.approx(0.3)
+        wf = env.waveform
+        # Plateau spans [EAT - lead + rise, LAT - lead + rise].
+        assert wf(1.5) == pytest.approx(0.3)
+        assert wf(2.0) == pytest.approx(0.3)
+        assert env.t_end == pytest.approx(2.0 - 0.05 + 0.1 + 0.2)
+
+    def test_point_window_gives_pulse(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 1.0))
+        # Degenerate window: the envelope is just the single pulse.
+        assert env.peak == pytest.approx(0.3)
+        assert env.t_end - env.t_start == pytest.approx(0.3)
+
+    def test_wider_window_wider_envelope(self):
+        narrow = primary_envelope("v", pulse(), TimingWindow(1.0, 1.5))
+        wide = primary_envelope("v", pulse(), TimingWindow(1.0, 2.5))
+        assert wide.t_end > narrow.t_end
+        assert wide.peak == pytest.approx(narrow.peak)
+
+
+class TestWidenedLate:
+    def test_widen_extends_plateau(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 2.0))
+        wide = env.widened_late(0.5)
+        assert wide.t_end == pytest.approx(env.t_end + 0.5)
+        assert wide.peak == pytest.approx(env.peak)
+        # Plateau now covers the stretch.
+        assert wide.waveform(2.3) == pytest.approx(env.peak)
+
+    def test_widen_zero_is_identity(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 2.0))
+        assert env.widened_late(0.0) is env
+
+    def test_widen_negative_rejected(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 2.0))
+        with pytest.raises(EnvelopeError):
+            env.widened_late(-0.1)
+
+    def test_widened_encapsulates_original(self):
+        env = primary_envelope("v", pulse(), TimingWindow(1.0, 2.0))
+        wide = env.widened_late(0.4)
+        grid = Grid(0.0, 4.0, 512)
+        assert wide.encapsulates(env, grid)
+        assert not env.encapsulates(wide, grid)
+
+
+class TestEncapsulation:
+    def test_bigger_encapsulates_smaller(self):
+        big = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        small = NoiseEnvelope("v", triangle(0.2, 1.0, 1.8, 0.3))
+        assert big.encapsulates(small)
+        assert not small.encapsulates(big)
+
+    def test_interval_restriction(self):
+        a = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        b = NoiseEnvelope("v", triangle(2.0, 3.0, 4.0, 0.4))
+        # Over everything: neither encapsulates.
+        assert not a.encapsulates(b)
+        # Restricted to where b is zero, a trivially encapsulates.
+        assert a.encapsulates(b, lo=0.0, hi=1.9)
+
+    def test_self_encapsulation(self):
+        a = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        assert a.encapsulates(a)
+
+    def test_grid_vs_exact_agree(self):
+        big = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        small = NoiseEnvelope("v", triangle(0.2, 1.0, 1.8, 0.3))
+        grid = Grid(-0.5, 2.5, 512)
+        assert big.encapsulates(small, grid=grid) == big.encapsulates(small)
+
+    def test_empty_interval_is_trivially_true(self):
+        a = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.1))
+        b = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.9))
+        grid = Grid(0.0, 2.0, 64)
+        assert a.encapsulates(b, grid=grid, lo=5.0, hi=6.0)
+
+
+class TestCombine:
+    def test_sum_of_samples(self):
+        grid = Grid(0.0, 3.0, 64)
+        a = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        b = NoiseEnvelope("v", triangle(1.0, 2.0, 3.0, 0.25))
+        total = combine([a, b], grid)
+        assert total == pytest.approx(a.sample(grid) + b.sample(grid))
+
+    def test_empty_combination_is_zero(self):
+        grid = Grid(0.0, 1.0, 16)
+        assert np.all(combine([], grid) == 0.0)
+
+    @given(
+        peaks=st.lists(st.floats(0.0, 0.5), min_size=1, max_size=5),
+    )
+    @settings(max_examples=30)
+    def test_combined_peak_at_most_sum_of_peaks(self, peaks):
+        grid = Grid(0.0, 3.0, 128)
+        envs = [
+            NoiseEnvelope("v", triangle(0.5, 1.5, 2.5, p)) for p in peaks
+        ]
+        total = combine(envs, grid)
+        assert total.max() <= sum(peaks) + 1e-9
+
+
+class TestShift:
+    def test_shifted_moves_support(self):
+        env = NoiseEnvelope("v", triangle(0.0, 1.0, 2.0, 0.5))
+        moved = env.shifted(1.5)
+        assert moved.t_start == pytest.approx(1.5)
+        assert moved.peak == pytest.approx(0.5)

@@ -1,0 +1,67 @@
+"""Unit tests for false-aggressor filtering."""
+
+import pytest
+
+from repro.noise.envelope import NoiseEnvelope
+from repro.noise.filters import (
+    LogicalExclusions,
+    envelope_can_delay,
+    filter_envelopes,
+    windows_can_interact,
+)
+from repro.timing.waveform import triangle
+from repro.timing.windows import TimingWindow
+
+
+class TestLogicalExclusions:
+    def test_add_and_query(self):
+        ex = LogicalExclusions()
+        ex.add("a", "b")
+        assert ex.excludes("a", "b")
+        assert ex.excludes("b", "a")
+        assert not ex.excludes("a", "c")
+        assert len(ex) == 1
+
+    def test_from_pairs(self):
+        ex = LogicalExclusions.from_pairs([("a", "b"), ("c", "d")])
+        assert len(ex) == 2
+        assert ex.excludes("d", "c")
+
+    def test_self_exclusion_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalExclusions().add("a", "a")
+
+    def test_duplicate_pairs_collapse(self):
+        ex = LogicalExclusions.from_pairs([("a", "b"), ("b", "a")])
+        assert len(ex) == 1
+
+
+class TestWindowInteraction:
+    def test_overlapping_interact(self):
+        assert windows_can_interact(TimingWindow(0, 1), TimingWindow(0.5, 2))
+
+    def test_disjoint_do_not(self):
+        assert not windows_can_interact(
+            TimingWindow(0, 1), TimingWindow(2, 3)
+        )
+
+    def test_slack_padding(self):
+        assert windows_can_interact(
+            TimingWindow(0, 1), TimingWindow(1.2, 3), slack=0.5
+        )
+
+
+class TestEnvelopeFilter:
+    def test_envelope_ending_before_t50_is_false(self):
+        env = NoiseEnvelope("v", triangle(0.0, 0.5, 1.0, 0.4))
+        assert not envelope_can_delay(env, victim_t50=1.5)
+        assert envelope_can_delay(env, victim_t50=0.8)
+
+    def test_filter_drops_only_false(self):
+        early = NoiseEnvelope("v", triangle(0.0, 0.2, 0.4, 0.4))
+        late = NoiseEnvelope("v", triangle(0.9, 1.1, 1.3, 0.4))
+        kept = filter_envelopes([early, late], victim_t50=1.0)
+        assert kept == [late]
+
+    def test_filter_empty(self):
+        assert filter_envelopes([], victim_t50=1.0) == []

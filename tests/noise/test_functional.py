@@ -1,0 +1,113 @@
+"""Tests for functional (glitch) noise analysis."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.netlist import Netlist
+from repro.noise.functional import (
+    FunctionalNoiseConfig,
+    FunctionalNoiseError,
+    analyze_functional_noise,
+    glitch_cleanup_candidates,
+)
+
+
+def chain_with_coupling(coupling_cap: float):
+    nl = Netlist("fn", default_library())
+    nl.add_primary_input("a")
+    nl.add_primary_input("agg")
+    nl.add_gate("g1", "INV_X1", ["a"], "x")
+    nl.add_gate("g2", "INV_X1", ["x"], "y")
+    nl.add_gate("g3", "INV_X1", ["y"], "z")
+    nl.add_primary_output("z")
+    nl.add_primary_output("agg")
+    cg = CouplingGraph(nl)
+    cg.add("x", "agg", coupling_cap)
+    return Design(netlist=nl, coupling=cg)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(FunctionalNoiseError):
+            FunctionalNoiseConfig(propagation_gain=1.0)
+        with pytest.raises(FunctionalNoiseError):
+            FunctionalNoiseConfig(default_margin=0.0)
+
+    def test_margin_lookup(self):
+        cfg = FunctionalNoiseConfig()
+        assert cfg.margin("INV") == pytest.approx(0.40)
+        assert cfg.margin("UNKNOWN_FN") == cfg.default_margin
+
+
+class TestAnalysis:
+    def test_small_coupling_is_clean(self):
+        design = chain_with_coupling(0.2)
+        result = analyze_functional_noise(design)
+        assert result.violations() == []
+
+    def test_huge_coupling_violates(self):
+        design = chain_with_coupling(50.0)
+        result = analyze_functional_noise(design)
+        bad = result.violations()
+        assert bad
+        assert any(r.net in ("x", "agg") for r in bad)
+
+    def test_peaks_bounded_by_vdd(self):
+        design = chain_with_coupling(500.0)
+        result = analyze_functional_noise(design)
+        for record in result.records.values():
+            assert 0.0 <= record.total_peak <= 1.0
+
+    def test_propagation_through_stages(self):
+        design = chain_with_coupling(50.0)
+        result = analyze_functional_noise(design)
+        x = result.records["x"]
+        y = result.records["y"]
+        if x.violated:
+            # The downstream net sees an attenuated copy.
+            assert y.propagated_peak == pytest.approx(
+                FunctionalNoiseConfig().propagation_gain * x.total_peak
+            )
+
+    def test_propagation_stops_below_margin(self):
+        design = chain_with_coupling(0.2)
+        result = analyze_functional_noise(design)
+        assert result.records["y"].propagated_peak == 0.0
+
+    def test_every_net_reported(self):
+        design = chain_with_coupling(1.0)
+        result = analyze_functional_noise(design)
+        assert set(result.records) == set(design.netlist.nets)
+
+    def test_worst_sorted_by_headroom(self):
+        design = chain_with_coupling(10.0)
+        result = analyze_functional_noise(design)
+        worst = result.worst(5)
+        headrooms = [r.headroom for r in worst]
+        assert headrooms == sorted(headrooms)
+
+    def test_summary_text(self):
+        design = chain_with_coupling(50.0)
+        text = analyze_functional_noise(design).summary()
+        assert "functional noise" in text
+
+    def test_on_generated_design(self, tiny_design):
+        result = analyze_functional_noise(tiny_design)
+        assert len(result.records) == tiny_design.netlist.net_count()
+
+
+class TestCleanupCandidates:
+    def test_candidates_ranked_by_peak(self):
+        design = chain_with_coupling(50.0)
+        result = analyze_functional_noise(design)
+        candidates = glitch_cleanup_candidates(design, result)
+        if len(candidates) >= 2:
+            peaks = [c[2] for c in candidates]
+            assert peaks == sorted(peaks, reverse=True)
+
+    def test_clean_design_has_no_candidates(self):
+        design = chain_with_coupling(0.2)
+        result = analyze_functional_noise(design)
+        assert glitch_cleanup_candidates(design, result) == []

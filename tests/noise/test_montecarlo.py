@@ -1,0 +1,133 @@
+"""Tests for Monte-Carlo alignment sampling — including the key
+cross-validation that the envelope worst case bounds every sampled
+alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.montecarlo import (
+    AlignmentScenario,
+    MonteCarloError,
+    monte_carlo_delay_noise,
+    sample_alignments,
+    scenario_for_victim,
+)
+from repro.noise.pulse import NoisePulse
+from repro.timing.sta import run_sta
+from repro.timing.windows import TimingWindow
+
+
+def make_scenario(pulse_specs, t50=1.0, slew=0.1):
+    pulses = tuple(
+        NoisePulse(peak=p, rise=r, decay=d, lead=r / 2)
+        for p, r, d in pulse_specs
+    )
+    windows = tuple(w for w in _windows(len(pulses)))
+    return AlignmentScenario(
+        victim="v", t50=t50, slew=slew, pulses=pulses, windows=windows
+    )
+
+
+def _windows(n):
+    for i in range(n):
+        yield TimingWindow(0.5 + 0.05 * i, 1.2 + 0.05 * i)
+
+
+class TestScenario:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MonteCarloError):
+            AlignmentScenario(
+                victim="v",
+                t50=1.0,
+                slew=0.1,
+                pulses=(NoisePulse(0.1, 0.1, 0.2, 0.05),),
+                windows=(),
+            )
+
+    def test_scenario_from_design(self, tiny_design):
+        timing = run_sta(tiny_design.netlist)
+        victim = next(
+            n for n in tiny_design.netlist.nets
+            if tiny_design.coupling.aggressors_of(n)
+        )
+        scenario = scenario_for_victim(
+            tiny_design.netlist, tiny_design.coupling, victim, timing
+        )
+        assert len(scenario.pulses) == len(
+            tiny_design.coupling.aggressors_of(victim)
+        )
+
+
+class TestSampling:
+    def test_envelope_bounds_every_sample(self):
+        scenario = make_scenario(
+            [(0.2, 0.1, 0.3), (0.15, 0.08, 0.25), (0.1, 0.12, 0.2)]
+        )
+        result = sample_alignments(scenario, n_samples=300, seed=1)
+        assert result.max <= result.envelope_worst_case + 1e-6
+        assert result.worst_case_slack >= -1e-6
+
+    def test_samples_nonnegative(self):
+        scenario = make_scenario([(0.25, 0.1, 0.3)])
+        result = sample_alignments(scenario, n_samples=100, seed=2)
+        assert np.all(result.samples >= 0.0)
+
+    def test_deterministic_given_seed(self):
+        scenario = make_scenario([(0.2, 0.1, 0.3), (0.1, 0.1, 0.2)])
+        a = sample_alignments(scenario, n_samples=50, seed=3)
+        b = sample_alignments(scenario, n_samples=50, seed=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_statistics(self):
+        scenario = make_scenario([(0.2, 0.1, 0.3)])
+        result = sample_alignments(scenario, n_samples=64, seed=4)
+        assert result.n == 64
+        assert result.mean <= result.max + 1e-12
+        assert result.quantile(0.5) <= result.quantile(0.95) + 1e-12
+
+    def test_quantile_validation(self):
+        scenario = make_scenario([(0.2, 0.1, 0.3)])
+        result = sample_alignments(scenario, n_samples=10, seed=5)
+        with pytest.raises(MonteCarloError):
+            result.quantile(1.5)
+
+    def test_bad_sample_count(self):
+        scenario = make_scenario([(0.2, 0.1, 0.3)])
+        with pytest.raises(MonteCarloError):
+            sample_alignments(scenario, n_samples=0)
+
+    def test_summary_text(self):
+        scenario = make_scenario([(0.2, 0.1, 0.3)])
+        result = sample_alignments(scenario, n_samples=16, seed=6)
+        assert "alignments" in result.summary()
+
+    @given(
+        peaks=st.lists(st.floats(0.02, 0.35), min_size=1, max_size=4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bound_property(self, peaks, seed):
+        """Property form of the envelope-bound cross-validation."""
+        scenario = make_scenario([(p, 0.1, 0.25) for p in peaks])
+        result = sample_alignments(scenario, n_samples=40, seed=seed)
+        assert result.max <= result.envelope_worst_case + 1e-6
+
+
+class TestOnDesign:
+    def test_full_flow(self, tiny_design):
+        timing = run_sta(tiny_design.netlist)
+        victim = next(
+            n for n in tiny_design.netlist.nets
+            if tiny_design.coupling.aggressors_of(n)
+        )
+        result = monte_carlo_delay_noise(
+            tiny_design.netlist,
+            tiny_design.coupling,
+            victim,
+            timing,
+            n_samples=60,
+            seed=7,
+        )
+        assert result.max <= result.envelope_worst_case + 1e-6

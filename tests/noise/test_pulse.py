@@ -1,0 +1,108 @@
+"""Unit and property tests for the coupled-RC noise pulse model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.netlist import Netlist
+from repro.noise.pulse import (
+    DECAY_TAUS,
+    NoisePulse,
+    PulseError,
+    pulse_for_coupling,
+    pulse_parameters,
+)
+
+
+class TestPulseParameters:
+    def test_peak_bounded(self):
+        p = pulse_parameters(8.0, 5.0, 2.0, 0.1)
+        assert 0.0 < p.peak < 1.0
+
+    def test_peak_monotone_in_coupling(self):
+        peaks = [
+            pulse_parameters(8.0, 5.0, cc, 0.1).peak for cc in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert peaks == sorted(peaks)
+
+    def test_peak_decreases_with_ground_cap(self):
+        peaks = [
+            pulse_parameters(8.0, cv, 2.0, 0.1).peak for cv in (1.0, 5.0, 20.0)
+        ]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_fast_aggressor_approaches_charge_sharing(self):
+        cc, cv = 2.0, 5.0
+        p = pulse_parameters(8.0, cv, cc, 1e-6)
+        assert p.peak == pytest.approx(cc / (cc + cv), rel=1e-2)
+
+    def test_slow_aggressor_weakens_pulse(self):
+        fast = pulse_parameters(8.0, 5.0, 2.0, 0.01).peak
+        slow = pulse_parameters(8.0, 5.0, 2.0, 1.0).peak
+        assert slow < fast
+
+    def test_decay_proportional_to_tau(self):
+        p = pulse_parameters(8.0, 5.0, 2.0, 0.1)
+        tau = 8.0 * 7.0 * 1e-3
+        assert p.decay == pytest.approx(DECAY_TAUS * tau)
+
+    def test_rise_equals_slew(self):
+        p = pulse_parameters(8.0, 5.0, 2.0, 0.25)
+        assert p.rise == pytest.approx(0.25)
+        assert p.lead == pytest.approx(0.125)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(PulseError):
+            pulse_parameters(-1.0, 5.0, 2.0, 0.1)
+        with pytest.raises(PulseError):
+            pulse_parameters(8.0, 5.0, 0.0, 0.1)
+
+    @given(
+        rv=st.floats(0.1, 50.0),
+        cv=st.floats(0.1, 100.0),
+        cc=st.floats(0.01, 50.0),
+        tr=st.floats(0.001, 2.0),
+    )
+    def test_peak_always_in_unit_range(self, rv, cv, cc, tr):
+        p = pulse_parameters(rv, cv, cc, tr)
+        assert 0.0 <= p.peak <= 1.0
+        assert p.width > 0
+
+
+class TestNoisePulse:
+    def test_validation(self):
+        with pytest.raises(PulseError):
+            NoisePulse(peak=1.5, rise=0.1, decay=0.1, lead=0.05)
+        with pytest.raises(PulseError):
+            NoisePulse(peak=0.5, rise=-0.1, decay=0.1, lead=0.05)
+
+    def test_waveform_anchoring(self):
+        p = NoisePulse(peak=0.4, rise=0.1, decay=0.2, lead=0.05)
+        wf = p.waveform(aggressor_t50=1.0)
+        assert wf.t_start == pytest.approx(0.95)
+        assert wf.peak_time() == pytest.approx(1.05)
+        assert wf.t_end == pytest.approx(1.25)
+        assert wf.peak() == pytest.approx(0.4)
+
+
+class TestPulseForCoupling:
+    @pytest.fixture()
+    def design_bits(self):
+        nl = Netlist("t", default_library())
+        nl.add_primary_input("v")
+        nl.add_primary_input("a")
+        cg = CouplingGraph(nl)
+        cc = cg.add("v", "a", 2.0)
+        return nl, cc
+
+    def test_lookup_and_compute(self, design_bits):
+        nl, cc = design_bits
+        p = pulse_for_coupling(nl, cc, "v", aggressor_slew=0.1)
+        assert p.peak > 0
+
+    def test_wrong_victim_rejected(self, design_bits):
+        nl, cc = design_bits
+        with pytest.raises(PulseError):
+            pulse_for_coupling(nl, cc, "ghost", aggressor_slew=0.1)

@@ -1,0 +1,56 @@
+"""Tests for noise hotspot reports."""
+
+import pytest
+
+from repro.noise.analysis import analyze_noise
+from repro.noise.report import hotspot_table, hotspots, victim_breakdown
+
+
+@pytest.fixture(scope="module")
+def analyzed(tiny_design):
+    return analyze_noise(tiny_design)
+
+
+class TestHotspots:
+    def test_sorted_by_noise(self, tiny_design, analyzed):
+        rows = hotspots(tiny_design, analyzed, count=5)
+        values = [h.delay_noise_ns for h in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_context_fields(self, tiny_design, analyzed):
+        rows = hotspots(tiny_design, analyzed, count=3)
+        for h in rows:
+            assert h.aggressor_count == len(
+                tiny_design.coupling.aggressors_of(h.net)
+            )
+            if h.aggressor_count:
+                assert h.worst_aggressor is not None
+                assert h.worst_coupling_ff > 0
+
+    def test_critical_path_flagged(self, tiny_design, analyzed):
+        critical = set(analyzed.timing.critical_path())
+        for h in hotspots(tiny_design, analyzed, count=10):
+            assert h.on_critical_path == (h.net in critical)
+
+    def test_table_renders(self, tiny_design, analyzed):
+        text = hotspot_table(tiny_design, analyzed, count=5)
+        assert "noise (ps)" in text
+        assert len(text.splitlines()) >= 3
+
+
+class TestVictimBreakdown:
+    def test_breakdown_covers_aggressors(self, tiny_design, analyzed):
+        victim = analyzed.noisiest_nets(1)[0]
+        rows = victim_breakdown(tiny_design, analyzed, victim)
+        assert len(rows) == len(tiny_design.coupling.aggressors_of(victim))
+
+    def test_sorted_by_contribution(self, tiny_design, analyzed):
+        victim = analyzed.noisiest_nets(1)[0]
+        rows = victim_breakdown(tiny_design, analyzed, victim)
+        values = [r.solo_delay_noise_ns for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_solo_contributions_nonnegative(self, tiny_design, analyzed):
+        victim = analyzed.noisiest_nets(1)[0]
+        for r in victim_breakdown(tiny_design, analyzed, victim):
+            assert r.solo_delay_noise_ns >= 0.0

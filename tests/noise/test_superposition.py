@@ -1,0 +1,102 @@
+"""Unit and property tests for superposition delay noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import _shift_bump
+from repro.noise.envelope import NoiseEnvelope
+from repro.noise.superposition import (
+    SuperpositionError,
+    delay_noise,
+    delay_noise_sampled,
+    noisy_victim_waveform,
+    victim_grid,
+)
+from repro.timing.waveform import Grid, triangle
+
+
+def env(t0, tp, t1, h):
+    return NoiseEnvelope("v", triangle(t0, tp, t1, h))
+
+
+class TestDelayNoise:
+    def test_no_envelopes_no_noise(self):
+        assert delay_noise(1.0, 0.1, []) == 0.0
+
+    def test_noise_before_t50_is_harmless(self):
+        # Envelope dies out well before the victim switches.
+        e = env(0.0, 0.1, 0.2, 0.8)
+        assert delay_noise(1.0, 0.1, [e]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_noise_at_t50_delays(self):
+        e = env(0.9, 1.0, 1.3, 0.3)
+        dn = delay_noise(1.0, 0.1, [e])
+        assert dn > 0.0
+
+    def test_monotone_in_envelope_height(self):
+        dns = [
+            delay_noise(1.0, 0.1, [env(0.9, 1.0, 1.4, h)])
+            for h in (0.1, 0.2, 0.4)
+        ]
+        assert dns == sorted(dns)
+
+    def test_more_envelopes_more_noise(self):
+        one = delay_noise(1.0, 0.1, [env(0.9, 1.0, 1.4, 0.2)])
+        two = delay_noise(
+            1.0, 0.1, [env(0.9, 1.0, 1.4, 0.2), env(0.95, 1.1, 1.5, 0.2)]
+        )
+        assert two >= one - 1e-12
+
+    def test_shift_bump_reproduces_exact_shift(self):
+        # The pseudo-aggressor trapezoid of shift d, superposed on the
+        # victim ramp, must delay t50 by exactly d (Section 3.1).
+        t50, slew = 2.0, 0.2
+        for d in (0.05, 0.2, 0.7):
+            bump = NoiseEnvelope("v", _shift_bump(t50, slew, d))
+            dn = delay_noise(t50, slew, [bump], n=2048)
+            assert dn == pytest.approx(d, rel=0.02)
+
+    def test_shape_mismatch_rejected(self):
+        grid = Grid(0.0, 1.0, 32)
+        with pytest.raises(SuperpositionError):
+            delay_noise_sampled(0.5, 0.1, np.zeros(16), grid)
+
+    def test_saturating_noise_clamps_to_grid(self):
+        # An envelope that keeps the waveform below 0.5 through the grid
+        # end clamps the delay noise to the grid horizon.
+        grid = Grid(0.0, 2.0, 64)
+        combined = np.full(64, 0.9)
+        dn = delay_noise_sampled(1.0, 0.1, combined, grid)
+        assert dn == pytest.approx(1.0)  # grid end 2.0 - t50 1.0
+
+    @given(
+        h=st.floats(0.0, 0.45),
+        width=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=40)
+    def test_delay_noise_nonnegative(self, h, width):
+        e = env(0.8, 0.9, 0.9 + width, h)
+        assert delay_noise(1.0, 0.15, [e]) >= 0.0
+
+
+class TestVictimGrid:
+    def test_covers_transition_and_envelopes(self):
+        e = env(0.0, 0.5, 5.0, 0.3)
+        g = victim_grid(1.0, 0.1, [e])
+        assert g.t_start < 0.0
+        assert g.t_end > 5.0
+
+    def test_horizon_extends(self):
+        g = victim_grid(1.0, 0.1, [], horizon=10.0)
+        assert g.t_end > 10.0
+
+
+class TestNoisyWaveform:
+    def test_subtracts_envelope(self):
+        e = env(0.9, 1.0, 1.2, 0.2)
+        wf = noisy_victim_waveform(1.0, 0.1, [e], n=512)
+        # At the envelope peak the noisy waveform sits below the ramp.
+        clean = noisy_victim_waveform(1.0, 0.1, [], n=512)
+        assert wf(1.0) < clean(1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for constraints, slack, and noise-violation classification."""
+
+import pytest
+
+from repro.noise.analysis import analyze_noise
+from repro.timing.constraints import (
+    ConstraintError,
+    Constraints,
+    classify_noise_violations,
+    endpoint_slacks,
+    worst_slack,
+)
+from repro.timing.sta import run_sta
+
+
+class TestConstraints:
+    def test_default_required(self):
+        c = Constraints(clock_period=1.0)
+        assert c.required("any_output") == 1.0
+
+    def test_override(self):
+        c = Constraints(clock_period=1.0, output_required={"y": 0.5})
+        assert c.required("y") == 0.5
+        assert c.required("z") == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            Constraints(clock_period=0.0)
+        with pytest.raises(ConstraintError):
+            Constraints(clock_period=1.0, output_required={"y": -0.1})
+
+
+class TestSlack:
+    def test_slacks_sorted_worst_first(self, tiny_design):
+        timing = run_sta(tiny_design.netlist)
+        c = Constraints(clock_period=timing.circuit_delay() + 0.1)
+        slacks = endpoint_slacks(timing, c)
+        values = [s.slack for s in slacks]
+        assert values == sorted(values)
+
+    def test_worst_slack_sign(self, tiny_design):
+        timing = run_sta(tiny_design.netlist)
+        loose = Constraints(clock_period=timing.circuit_delay() * 2)
+        tight = Constraints(clock_period=timing.circuit_delay() * 0.5)
+        assert worst_slack(timing, loose) > 0
+        assert worst_slack(timing, tight) < 0
+
+    def test_violated_flag(self, tiny_design):
+        timing = run_sta(tiny_design.netlist)
+        tight = Constraints(clock_period=timing.circuit_delay() * 0.5)
+        slacks = endpoint_slacks(timing, tight)
+        assert any(s.violated for s in slacks)
+
+
+class TestClassification:
+    @pytest.fixture()
+    def scenario(self, tiny_design):
+        nominal = run_sta(tiny_design.netlist)
+        noisy = analyze_noise(tiny_design).timing
+        return tiny_design, nominal, noisy
+
+    def test_noise_induced_detected(self, scenario):
+        design, nominal, noisy = scenario
+        # Period between nominal and noisy worst arrival: the worst
+        # endpoint fails only because of noise.
+        period = (nominal.circuit_delay() + noisy.circuit_delay()) / 2.0
+        report = classify_noise_violations(
+            nominal, noisy, Constraints(clock_period=period)
+        )
+        assert report.has_noise_violations
+        assert not report.hard
+
+    def test_hard_violations_detected(self, scenario):
+        design, nominal, noisy = scenario
+        period = nominal.circuit_delay() * 0.5
+        report = classify_noise_violations(
+            nominal, noisy, Constraints(clock_period=period)
+        )
+        assert report.hard
+        # Hard endpoints are not double-counted as noise-induced.
+        hard_names = {s.endpoint for s in report.hard}
+        induced_names = {s.endpoint for s in report.noise_induced}
+        assert not hard_names & induced_names
+
+    def test_all_clean_with_loose_period(self, scenario):
+        design, nominal, noisy = scenario
+        period = noisy.circuit_delay() * 2.0
+        report = classify_noise_violations(
+            nominal, noisy, Constraints(clock_period=period)
+        )
+        assert not report.has_noise_violations
+        assert not report.hard
+        assert len(report.clean) == len(design.netlist.primary_outputs)
+
+    def test_summary_text(self, scenario):
+        design, nominal, noisy = scenario
+        period = (nominal.circuit_delay() + noisy.circuit_delay()) / 2.0
+        report = classify_noise_violations(
+            nominal, noisy, Constraints(clock_period=period)
+        )
+        text = report.summary()
+        assert "noise-induced violations" in text
+        assert "clock period" in text

@@ -1,0 +1,79 @@
+"""Unit tests for the gate delay/slew models."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.netlist import Netlist
+from repro.timing.delay_models import (
+    ArcDelay,
+    driver_arc,
+    gate_arc,
+    wire_load,
+)
+
+
+@pytest.fixture()
+def lib():
+    return default_library()
+
+
+class TestGateArc:
+    def test_delay_monotone_in_load(self, lib):
+        cell = lib["NAND2_X1"]
+        arcs = [gate_arc(cell, load, 0.05) for load in (0.0, 5.0, 20.0)]
+        delays = [a.delay for a in arcs]
+        assert delays == sorted(delays)
+
+    def test_slew_monotone_in_input_slew(self, lib):
+        cell = lib["NAND2_X1"]
+        slews = [gate_arc(cell, 5.0, s).slew for s in (0.0, 0.1, 0.5)]
+        assert slews == sorted(slews)
+
+    def test_wire_resistance_adds_delay(self, lib):
+        cell = lib["INV_X1"]
+        without = gate_arc(cell, 10.0, 0.05, wire_res=0.0)
+        with_res = gate_arc(cell, 10.0, 0.05, wire_res=2.0)
+        assert with_res.delay > without.delay
+        assert with_res.slew > without.slew
+
+    def test_negative_slew_rejected(self, lib):
+        with pytest.raises(ValueError):
+            gate_arc(lib["INV_X1"], 1.0, -0.1)
+
+    def test_returns_arc_delay(self, lib):
+        arc = gate_arc(lib["INV_X1"], 1.0, 0.05)
+        assert isinstance(arc, ArcDelay)
+        assert arc.delay > 0 and arc.slew > 0
+
+
+class TestNetlistArcs:
+    @pytest.fixture()
+    def netlist(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "INV_X1", ["a"], "y")
+        nl.add_gate("g2", "INV_X1", ["y"], "z")
+        nl.add_gate("g3", "INV_X1", ["y"], "w")
+        nl.add_primary_output("z")
+        nl.add_primary_output("w")
+        return nl
+
+    def test_wire_load_counts_all_pins(self, netlist, lib):
+        # y drives two INV inputs.
+        assert wire_load(netlist, "y") == pytest.approx(
+            2 * lib["INV_X1"].input_cap
+        )
+
+    def test_wire_load_includes_wire_cap(self, netlist, lib):
+        netlist.net("y").wire_cap = 4.0
+        assert wire_load(netlist, "y") == pytest.approx(
+            2 * lib["INV_X1"].input_cap + 4.0
+        )
+
+    def test_driver_arc_uses_net_context(self, netlist):
+        arc = driver_arc(netlist, "y", input_slew=0.05)
+        assert arc.delay > 0
+        # Doubling the load (wire cap) increases the arc delay.
+        netlist.net("y").wire_cap = 10.0
+        slower = driver_arc(netlist, "y", input_slew=0.05)
+        assert slower.delay > arc.delay

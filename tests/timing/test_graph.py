@@ -1,0 +1,72 @@
+"""Unit tests for timing-graph construction and levelization."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generator import random_netlist
+from repro.circuit.netlist import Netlist
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture()
+def diamond():
+    #     a -> x -> z
+    #     a -> y -> z   (diamond reconvergence)
+    nl = Netlist("d", default_library())
+    nl.add_primary_input("a")
+    nl.add_gate("gx", "INV_X1", ["a"], "x")
+    nl.add_gate("gy", "BUF_X1", ["a"], "y")
+    nl.add_gate("gz", "NAND2_X1", ["x", "y"], "z")
+    nl.add_primary_output("z")
+    return TimingGraph.from_netlist(nl)
+
+
+class TestLevels:
+    def test_levels(self, diamond):
+        assert diamond.level["a"] == 0
+        assert diamond.level["x"] == 1
+        assert diamond.level["y"] == 1
+        assert diamond.level["z"] == 2
+
+    def test_depth(self, diamond):
+        assert diamond.depth == 2
+
+    def test_nets_at_level(self, diamond):
+        assert sorted(diamond.nets_at_level(1)) == ["x", "y"]
+
+    def test_topo_order_consistent_with_levels(self, diamond):
+        order = diamond.topo_order
+        for net in order:
+            for fan in diamond.fanin[net]:
+                assert order.index(fan) < order.index(net)
+
+
+class TestFanMaps:
+    def test_fanin(self, diamond):
+        assert sorted(diamond.fanin["z"]) == ["x", "y"]
+        assert diamond.fanin["a"] == ()
+
+    def test_fanout(self, diamond):
+        assert sorted(diamond.fanout["a"]) == ["x", "y"]
+        assert diamond.fanout["z"] == ()
+
+
+class TestAncestry:
+    def test_direct_ancestor(self, diamond):
+        assert diamond.is_ancestor("a", "z")
+        assert diamond.is_ancestor("x", "z")
+
+    def test_not_ancestor(self, diamond):
+        assert not diamond.is_ancestor("z", "a")
+        assert not diamond.is_ancestor("x", "y")
+
+    def test_self_not_ancestor(self, diamond):
+        assert not diamond.is_ancestor("z", "z")
+
+    def test_random_circuit_consistency(self):
+        nl = random_netlist("r", 25, seed=12)
+        g = TimingGraph.from_netlist(nl)
+        # Every fanin is an ancestor.
+        for net in g.topo_order:
+            for fan in g.fanin[net]:
+                assert g.is_ancestor(fan, net)

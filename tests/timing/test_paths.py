@@ -1,0 +1,103 @@
+"""Unit tests for N-worst path enumeration."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generator import random_netlist
+from repro.circuit.netlist import Netlist
+from repro.timing.paths import (
+    PathError,
+    format_path,
+    n_worst_paths,
+    path_report,
+)
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture()
+def reconvergent():
+    # Two parallel branches of different depth reconverge; plus a direct
+    # short path from b.
+    nl = Netlist("rc", default_library())
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    nl.add_gate("s1", "INV_X1", ["a"], "x1")
+    nl.add_gate("s2", "INV_X1", ["x1"], "x2")
+    nl.add_gate("f1", "BUF_X1", ["a"], "y1")
+    nl.add_gate("m", "NAND2_X1", ["x2", "y1"], "z")
+    nl.add_gate("o", "NAND2_X1", ["z", "b"], "out")
+    nl.add_primary_output("out")
+    return nl
+
+
+class TestNWorstPaths:
+    def test_worst_path_matches_critical_path(self, reconvergent):
+        timing = run_sta(reconvergent)
+        paths = n_worst_paths(timing, n=1)
+        assert len(paths) == 1
+        assert list(paths[0].nets) == timing.critical_path()
+        assert paths[0].arrival == pytest.approx(timing.circuit_delay())
+
+    def test_paths_sorted_descending(self, reconvergent):
+        timing = run_sta(reconvergent)
+        paths = n_worst_paths(timing, n=5)
+        arrivals = [p.arrival for p in paths]
+        assert arrivals == sorted(arrivals, reverse=True)
+
+    def test_enumerates_distinct_paths(self, reconvergent):
+        timing = run_sta(reconvergent)
+        paths = n_worst_paths(timing, n=5)
+        assert len({p.nets for p in paths}) == len(paths)
+        # The design has exactly 3 PI->PO paths.
+        assert len(paths) == 3
+
+    def test_endpoint_restriction(self, reconvergent):
+        timing = run_sta(reconvergent)
+        paths = n_worst_paths(timing, n=3, endpoint="out")
+        assert all(p.endpoint == "out" for p in paths)
+
+    def test_unknown_endpoint_rejected(self, reconvergent):
+        timing = run_sta(reconvergent)
+        with pytest.raises(PathError):
+            n_worst_paths(timing, endpoint="ghost")
+
+    def test_bad_n_rejected(self, reconvergent):
+        timing = run_sta(reconvergent)
+        with pytest.raises(PathError):
+            n_worst_paths(timing, n=0)
+
+    def test_path_arrival_consistent_with_stagewise_sum(self, reconvergent):
+        timing = run_sta(reconvergent)
+        for path in n_worst_paths(timing, n=3):
+            from repro.timing.delay_models import driver_arc
+
+            arrival = timing.lat(path.startpoint)
+            for prev, net in zip(path.nets, path.nets[1:]):
+                arrival += driver_arc(
+                    reconvergent, net, timing.slew_late(prev)
+                ).delay
+            assert arrival == pytest.approx(path.arrival, abs=1e-9)
+
+    def test_random_circuit_worst_matches_sta(self):
+        nl = random_netlist("p", 40, seed=11)
+        timing = run_sta(nl)
+        worst = n_worst_paths(timing, n=1)[0]
+        assert worst.arrival == pytest.approx(
+            timing.circuit_delay(), abs=1e-9
+        )
+
+
+class TestReports:
+    def test_format_path(self, reconvergent):
+        timing = run_sta(reconvergent)
+        path = n_worst_paths(timing, n=1)[0]
+        text = format_path(timing, path)
+        assert "Startpoint: a" in text
+        assert "Endpoint:   out" in text
+        assert "path arrival" in text
+
+    def test_path_report(self, reconvergent):
+        timing = run_sta(reconvergent)
+        text = path_report(timing, n=3)
+        assert "arrival" in text
+        assert text.count("\n") >= 4

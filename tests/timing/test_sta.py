@@ -1,0 +1,131 @@
+"""Unit tests for the STA engine."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.generator import random_netlist
+from repro.circuit.netlist import Netlist
+from repro.timing.delay_models import PRIMARY_INPUT_SLEW, driver_arc
+from repro.timing.sta import TimingError, run_sta
+from repro.timing.windows import TimingWindow
+
+
+@pytest.fixture()
+def lib():
+    return default_library()
+
+
+@pytest.fixture()
+def chain(lib):
+    nl = Netlist("chain", lib)
+    nl.add_primary_input("a")
+    nl.add_gate("g1", "INV_X1", ["a"], "n1")
+    nl.add_gate("g2", "INV_X1", ["n1"], "n2")
+    nl.add_primary_output("n2")
+    return nl
+
+
+class TestBasics:
+    def test_inputs_have_zero_arrival(self, chain):
+        t = run_sta(chain)
+        assert t.eat("a") == 0.0
+        assert t.lat("a") == 0.0
+        assert t.slew_late("a") == PRIMARY_INPUT_SLEW
+
+    def test_chain_delay_accumulates(self, chain):
+        t = run_sta(chain)
+        arc1 = driver_arc(chain, "n1", PRIMARY_INPUT_SLEW)
+        assert t.lat("n1") == pytest.approx(arc1.delay)
+        assert t.lat("n2") > t.lat("n1")
+
+    def test_eat_lat_ordering(self, chain):
+        t = run_sta(chain)
+        for net in chain.nets:
+            assert t.eat(net) <= t.lat(net) + 1e-12
+
+    def test_circuit_delay_is_worst_po(self, chain):
+        t = run_sta(chain)
+        assert t.circuit_delay() == pytest.approx(t.lat("n2"))
+        assert t.worst_output() == "n2"
+
+    def test_unknown_net_raises(self, chain):
+        t = run_sta(chain)
+        with pytest.raises(TimingError):
+            t.lat("ghost")
+
+
+class TestMultiFanin:
+    @pytest.fixture()
+    def unbalanced(self, lib):
+        # One fast path and one slow 3-stage path into a NAND.
+        nl = Netlist("u", lib)
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        nl.add_gate("s1", "INV_X1", ["a"], "x1")
+        nl.add_gate("s2", "INV_X1", ["x1"], "x2")
+        nl.add_gate("s3", "INV_X1", ["x2"], "x3")
+        nl.add_gate("m", "NAND2_X1", ["x3", "b"], "y")
+        nl.add_primary_output("y")
+        return nl
+
+    def test_lat_from_slow_path_eat_from_fast(self, unbalanced):
+        t = run_sta(unbalanced)
+        assert t.lat("y") > t.eat("y")
+        # Worst fanin of y is the slow-path net x3.
+        assert t.worst_fanin["y"] == "x3"
+
+    def test_critical_path_traces_slow_side(self, unbalanced):
+        t = run_sta(unbalanced)
+        path = t.critical_path()
+        assert path == ["a", "x1", "x2", "x3", "y"]
+
+    def test_window_width_positive(self, unbalanced):
+        t = run_sta(unbalanced)
+        assert t.window("y").width > 0
+
+
+class TestExtraDelay:
+    def test_extra_delay_shifts_lat_only(self, chain):
+        base = run_sta(chain)
+        bumped = run_sta(chain, extra_delay={"n1": 0.1})
+        assert bumped.lat("n1") == pytest.approx(base.lat("n1") + 0.1)
+        assert bumped.eat("n1") == pytest.approx(base.eat("n1"))
+        # Propagates downstream.
+        assert bumped.lat("n2") == pytest.approx(base.lat("n2") + 0.1)
+
+    def test_extra_delay_at_primary_input(self, chain):
+        bumped = run_sta(chain, extra_delay={"a": 0.2})
+        base = run_sta(chain)
+        assert bumped.lat("a") == pytest.approx(0.2)
+        assert bumped.lat("n2") == pytest.approx(base.lat("n2") + 0.2)
+
+    def test_negative_extra_delay_rejected(self, chain):
+        with pytest.raises(TimingError):
+            run_sta(chain, extra_delay={"n1": -0.5})
+
+
+class TestInputArrivals:
+    def test_custom_arrival_window(self, chain):
+        t = run_sta(
+            chain, input_arrivals={"a": TimingWindow(0.1, 0.4)}
+        )
+        assert t.eat("a") == pytest.approx(0.1)
+        assert t.lat("a") == pytest.approx(0.4)
+        assert t.window("n2").width >= 0.3 - 1e-9
+
+
+class TestOnGeneratedCircuits:
+    def test_monotone_arrival_along_topo(self):
+        nl = random_netlist("r", 40, seed=3)
+        t = run_sta(nl)
+        for net in nl.nets:
+            driver = nl.driver_gate(net)
+            if driver.is_primary_input:
+                continue
+            for fan in driver.inputs:
+                assert t.lat(net) > t.lat(fan) - 1e-12
+
+    def test_horizon_exceeds_delay(self):
+        nl = random_netlist("r", 40, seed=3)
+        t = run_sta(nl)
+        assert t.horizon() > t.circuit_delay()

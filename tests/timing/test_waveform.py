@@ -1,0 +1,191 @@
+"""Unit and property tests for PWL waveforms and grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.waveform import (
+    Grid,
+    Waveform,
+    WaveformError,
+    crossing_time,
+    envelope_max,
+    falling_ramp,
+    rising_ramp,
+    trapezoid,
+    triangle,
+    zero,
+)
+
+
+class TestGrid:
+    def test_times_span(self):
+        g = Grid(0.0, 1.0, 11)
+        assert g.times[0] == 0.0
+        assert g.times[-1] == 1.0
+        assert g.dt == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(WaveformError):
+            Grid(0.0, 1.0, 1)
+        with pytest.raises(WaveformError):
+            Grid(1.0, 1.0, 16)
+        with pytest.raises(WaveformError):
+            Grid(2.0, 1.0, 16)
+
+    def test_index_at_clamps(self):
+        g = Grid(0.0, 1.0, 11)
+        assert g.index_at(-5.0) == 0
+        assert g.index_at(5.0) == 10
+        assert g.index_at(0.52) == 5
+
+    def test_expanded(self):
+        g = Grid(0.0, 1.0, 11).expanded(-1.0, 2.0)
+        assert g.t_start == -1.0 and g.t_end == 2.0
+
+
+class TestWaveform:
+    def test_eval_interpolates_and_holds(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        assert w(0.5) == pytest.approx(0.5)
+        assert w(-1.0) == 0.0
+        assert w(2.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(WaveformError):
+            Waveform([1.0, 0.0], [0.0, 1.0])
+        with pytest.raises(WaveformError):
+            Waveform([], [])
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_shift_scale_clip(self):
+        w = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert w.shifted(1.0)(1.5) == pytest.approx(1.0)
+        assert w.scaled(0.5)(1.0) == pytest.approx(1.0)
+        assert w.clipped(0.0, 1.0)(1.0) == pytest.approx(1.0)
+
+    def test_plus_minus(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.0, 2.0], [1.0, 1.0])
+        s = a.plus(b)
+        assert s(1.0) == pytest.approx(2.0)
+        d = a.minus(b)
+        assert d(0.0) == pytest.approx(-1.0)
+
+    def test_peak_and_peak_time(self):
+        w = triangle(0.0, 1.0, 3.0, 0.7)
+        assert w.peak() == pytest.approx(0.7)
+        assert w.peak_time() == pytest.approx(1.0)
+
+    def test_sample(self):
+        w = rising_ramp(0.5, 1.0)
+        g = Grid(0.0, 1.0, 3)
+        assert w.sample(g) == pytest.approx([0.0, 0.5, 1.0])
+
+
+class TestCrossing:
+    def test_simple_rising(self):
+        w = rising_ramp(0.5, 1.0)
+        assert w.crossing_time(0.5) == pytest.approx(0.5)
+        assert w.crossing_time(0.25) == pytest.approx(0.25)
+
+    def test_falling(self):
+        w = falling_ramp(0.5, 1.0)
+        assert w.crossing_time(0.5, rising=False) == pytest.approx(0.5)
+
+    def test_no_crossing_returns_none(self):
+        w = Waveform([0.0, 1.0], [0.0, 0.3])
+        assert w.crossing_time(0.5) is None
+
+    def test_last_vs_first(self):
+        # Rises, dips, rises again: two rising crossings of 0.5.
+        w = Waveform([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 0.0, 1.0])
+        assert w.crossing_time(0.5, last=False) == pytest.approx(0.5)
+        assert w.crossing_time(0.5, last=True) == pytest.approx(2.5)
+
+    def test_flat_segment_at_level(self):
+        t = crossing_time(
+            np.array([0.0, 1.0, 2.0]), np.array([0.0, 0.5, 0.5]), 0.5
+        )
+        assert t == pytest.approx(1.0)
+
+
+class TestShapes:
+    def test_ramp_validation(self):
+        with pytest.raises(WaveformError):
+            rising_ramp(0.0, 0.0)
+        with pytest.raises(WaveformError):
+            falling_ramp(0.0, -1.0)
+
+    def test_triangle_validation(self):
+        with pytest.raises(WaveformError):
+            triangle(1.0, 0.5, 2.0, 0.1)
+        with pytest.raises(WaveformError):
+            triangle(0.0, 0.5, 1.0, -0.1)
+
+    def test_trapezoid_shape(self):
+        w = trapezoid(0.0, 1.0, 2.0, 3.0, 0.5)
+        assert w(0.5) == pytest.approx(0.25)
+        assert w(1.5) == pytest.approx(0.5)
+        assert w(2.5) == pytest.approx(0.25)
+
+    def test_trapezoid_validation(self):
+        with pytest.raises(WaveformError):
+            trapezoid(0.0, 2.0, 1.0, 3.0, 0.5)
+
+    def test_zero(self):
+        assert zero()(123.0) == 0.0
+
+    def test_envelope_max(self):
+        a = triangle(0.0, 1.0, 2.0, 1.0)
+        b = triangle(1.0, 2.0, 3.0, 1.0)
+        m = envelope_max([a, b])
+        assert m(1.0) == pytest.approx(1.0)
+        assert m(2.0) == pytest.approx(1.0)
+        assert m(1.5) == pytest.approx(0.5)
+
+    def test_envelope_max_empty(self):
+        assert envelope_max([])(0.0) == 0.0
+
+
+class TestProperties:
+    @given(
+        t50=st.floats(-5, 5),
+        slew=st.floats(0.01, 3.0),
+    )
+    def test_ramp_crosses_half_at_t50(self, t50, slew):
+        w = rising_ramp(t50, slew)
+        assert w.crossing_time(0.5) == pytest.approx(t50, abs=1e-9)
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.integers(0, 1000), st.floats(-2, 2)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda p: p[0],
+        ),
+        dt=st.floats(-3, 3),
+    )
+    def test_shift_preserves_values(self, pts, dt):
+        # Integer-spaced distinct breakpoints: interpolation at the exact
+        # breakpoint times is then unambiguous under shifting.
+        pts = sorted(pts)
+        times = [p[0] / 100.0 for p in pts]
+        values = [p[1] for p in pts]
+        w = Waveform(times, values)
+        shifted = w.shifted(dt)
+        for t, v in zip(times, values):
+            assert shifted(t + dt) == pytest.approx(w(t), abs=1e-9)
+
+    @given(
+        h1=st.floats(0, 1),
+        h2=st.floats(0, 1),
+    )
+    @settings(max_examples=30)
+    def test_plus_commutes(self, h1, h2):
+        a = triangle(0.0, 1.0, 2.0, h1)
+        b = triangle(0.5, 1.5, 2.5, h2)
+        t = np.linspace(-1, 3, 50)
+        assert a.plus(b)(t) == pytest.approx(b.plus(a)(t))

@@ -1,0 +1,104 @@
+"""Unit and property tests for timing-window algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing.windows import TimingWindow, WindowError, infinite_window
+
+
+def window(eat=0.0, lat=1.0):
+    return TimingWindow(eat, lat)
+
+
+class TestTimingWindow:
+    def test_width(self):
+        assert window(0.2, 0.7).width == pytest.approx(0.5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(WindowError):
+            TimingWindow(1.0, 0.5)
+
+    def test_point_window_allowed(self):
+        w = TimingWindow(0.5, 0.5)
+        assert w.width == 0.0
+        assert w.contains(0.5)
+
+    def test_overlap(self):
+        assert window(0, 1).overlaps(window(0.5, 2))
+        assert not window(0, 1).overlaps(window(1.5, 2))
+        assert window(0, 1).overlaps(window(1.2, 2), slack=0.3)
+
+    def test_overlap_symmetry(self):
+        a, b = window(0, 1), window(0.9, 3)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_union(self):
+        u = window(0, 1).union(window(2, 3))
+        assert (u.eat, u.lat) == (0, 3)
+
+    def test_intersect(self):
+        i = window(0, 2).intersect(window(1, 3))
+        assert (i.eat, i.lat) == (1, 2)
+
+    def test_intersect_disjoint_raises(self):
+        with pytest.raises(WindowError):
+            window(0, 1).intersect(window(2, 3))
+
+    def test_shift(self):
+        s = window(0, 1).shifted(0.5)
+        assert (s.eat, s.lat) == (0.5, 1.5)
+
+    def test_widened_late(self):
+        w = window(0, 1).widened_late(0.3)
+        assert (w.eat, w.lat) == (0, 1.3)
+
+    def test_widen_negative_rejected(self):
+        with pytest.raises(WindowError):
+            window().widened_late(-0.1)
+
+    def test_contains(self):
+        assert window(0, 1).contains(0.5)
+        assert not window(0, 1).contains(1.1)
+
+    def test_str(self):
+        assert "[0.0000, 1.0000]" == str(window(0, 1))
+
+
+class TestInfiniteWindow:
+    def test_spans_horizon(self):
+        w = infinite_window(5.0)
+        assert w.eat == 0.0 and w.lat == 5.0
+
+    def test_bad_horizon(self):
+        with pytest.raises(WindowError):
+            infinite_window(0.0)
+
+
+class TestProperties:
+    windows = st.tuples(
+        st.floats(-10, 10), st.floats(0, 10)
+    ).map(lambda t: TimingWindow(t[0], t[0] + t[1]))
+
+    @given(a=windows, b=windows)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.eat <= min(a.eat, b.eat) + 1e-12
+        assert u.lat >= max(a.lat, b.lat) - 1e-12
+
+    @given(a=windows, b=windows)
+    def test_overlap_iff_intersect_succeeds(self, a, b):
+        overlapping = a.overlaps(b)
+        try:
+            a.intersect(b)
+            intersects = True
+        except WindowError:
+            intersects = False
+        assert overlapping == intersects
+
+    @given(w=windows, amount=st.floats(0, 5))
+    def test_widened_window_contains_original(self, w, amount):
+        wide = w.widened_late(amount)
+        assert wide.eat == w.eat
+        assert wide.lat >= w.lat
+        assert wide.width == pytest.approx(w.width + amount)
