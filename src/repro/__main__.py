@@ -1,0 +1,28 @@
+"""``python -m repro`` — dispatch to the package's command-line tools.
+
+* ``python -m repro ...`` — the top-k solver (same as ``repro-topk``);
+* ``python -m repro topk ...`` — the same, spelled explicitly;
+* ``python -m repro lint ...`` — the linter (same as ``repro-lint``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(args[1:])
+    if args and args[0] == "topk":
+        args = args[1:]
+    from .cli import main as topk_main
+
+    return topk_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

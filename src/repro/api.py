@@ -8,10 +8,11 @@ of the subpackages; power users can reach down to
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import FrozenSet, Optional, Union
 
 from .circuit.design import Design
-from .core.engine import ADDITION, ELIMINATION, TopKConfig, TopKError
+from .core.engine import ADDITION, ELIMINATION, TopKConfig, TopKEngine, TopKError
 from .core.report import TopKResult
 from .core.topk_addition import top_k_addition_set
 from .core.topk_elimination import top_k_elimination_set
@@ -21,27 +22,78 @@ from .timing.sta import run_sta
 #: Public alias — the facade's configuration is the solver configuration.
 AnalysisConfig = TopKConfig
 
+#: Accepted values of ``analyze``'s ``lint`` parameter.
+_LINT_MODES = (None, False, True, "preflight", "audit")
+
 
 def analyze(
     design: Design,
     k: int,
     mode: str = ADDITION,
     config: Optional[AnalysisConfig] = None,
+    lint: Union[None, bool, str] = None,
 ) -> TopKResult:
     """Compute the top-k aggressor set of either flavor.
+
+    Parameters
+    ----------
+    design, k, mode, config:
+        As before — the design, the set-size budget, ``"addition"`` or
+        ``"elimination"``, and the solver knobs.
+    lint:
+        Optional correctness tooling (see :mod:`repro.lint`):
+
+        * ``None`` / ``False`` — off (the default);
+        * ``"preflight"`` / ``True`` — run the static lint rules against
+          the design and this configuration first; ERROR findings raise
+          :class:`~repro.lint.framework.LintError` instead of surfacing
+          later as deep solver stack traces;
+        * ``"audit"`` — preflight **plus** the Theorem-1 dominance audit:
+          the engine records every pruning decision and the audit
+          re-checks the dominance preconditions on the sets it actually
+          discarded, raising on any violation.
+
+        With lint enabled the findings are attached to the result as
+        ``result.lint_report``.
 
     >>> from repro import make_paper_benchmark, analyze
     >>> result = analyze(make_paper_benchmark("i1"), k=3)
     >>> result.effective_k <= 3
     True
     """
-    if mode == ADDITION:
-        return top_k_addition_set(design, k, config)
-    if mode == ELIMINATION:
-        return top_k_elimination_set(design, k, config)
-    raise TopKError(
-        f"mode must be {ADDITION!r} or {ELIMINATION!r}, got {mode!r}"
+    if mode not in (ADDITION, ELIMINATION):
+        raise TopKError(
+            f"mode must be {ADDITION!r} or {ELIMINATION!r}, got {mode!r}"
+        )
+    if lint not in _LINT_MODES:
+        raise TopKError(
+            f"lint must be one of {_LINT_MODES}, got {lint!r}"
+        )
+    solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
+    if lint in (None, False):
+        return solver(design, k, config)
+
+    from .lint import LintConfig, assert_clean, run_lint
+
+    cfg = config if config is not None else AnalysisConfig()
+    report = run_lint(
+        design,
+        analysis_config=cfg,
+        k=k,
+        config=LintConfig(),
     )
+    assert_clean(report)
+    if lint != "audit":
+        result = solver(design, k, cfg)
+        return replace(result, lint_report=report)
+
+    audit_cfg = replace(cfg, audit_dominance=True)
+    engine = TopKEngine(design, mode, audit_cfg)
+    result = solver(design, k, audit_cfg, engine=engine)
+    audit_report = run_lint(design, engine=engine, categories=("audit",))
+    report = report.merged_with(audit_report)
+    assert_clean(audit_report)
+    return replace(result, lint_report=report)
 
 
 def circuit_delay(

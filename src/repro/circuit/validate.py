@@ -1,20 +1,26 @@
-"""Structural lint for designs.
+"""Structural lint for designs — backward-compatible facade.
 
-The noise analysis assumes a clean combinational design; this module turns
-the usual real-world dirt (floating nets, absurd fanout, self-coupling,
-coupling to undriven nets) into actionable diagnostics instead of deep
-stack traces.  ``validate_design`` returns all findings; ``assert_valid``
-raises on the first error-severity finding.
+Historically this module carried an ad-hoc structural checker; it is now a
+thin shim over the :mod:`repro.lint` rule framework.  The legacy surface —
+:class:`Severity`, :class:`Diagnostic`, :func:`validate_netlist`,
+:func:`validate_design`, :func:`assert_valid` and the legacy short codes
+(``undriven-net``, ``coupling-nonpositive``, ...) — is preserved verbatim,
+so existing callers keep working; new code should prefer
+:func:`repro.lint.run_lint`, which also covers timing, configuration and
+dominance-audit rules and can render JSON/SARIF.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from .design import Design
 from .netlist import Netlist, NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.framework import Finding
 
 
 class Severity(Enum):
@@ -26,7 +32,7 @@ class Severity(Enum):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One lint finding."""
+    """One lint finding (legacy shape: short code, no location field)."""
 
     severity: Severity
     code: str
@@ -40,81 +46,45 @@ class ValidationError(NetlistError):
     """Raised by :func:`assert_valid` when an error-level finding exists."""
 
 
-#: Fanout above this draws a warning (slew model degrades).
+#: Fanout above this draws a warning (slew model degrades).  The framework
+#: rule (RPR103) reads the same value from :mod:`repro.lint.rules_netlist`.
 FANOUT_WARNING_THRESHOLD = 16
 
 
+def _to_diagnostic(finding: "Finding") -> Diagnostic:
+    """Map a framework finding onto the legacy Diagnostic shape."""
+    from ..lint.framework import RULE_REGISTRY
+    from ..lint.framework import Severity as LintSeverity
+
+    rule = RULE_REGISTRY.get(finding.code)
+    code = rule.legacy if rule is not None and rule.legacy else finding.code
+    severity = (
+        Severity.ERROR
+        if finding.severity is LintSeverity.ERROR
+        else Severity.WARNING
+    )
+    return Diagnostic(severity=severity, code=code, message=finding.message)
+
+
 def validate_netlist(netlist: Netlist) -> List[Diagnostic]:
-    """Lint a netlist; returns findings (possibly empty)."""
-    findings: List[Diagnostic] = []
-    for name, net in netlist.nets.items():
-        if net.driver is None:
-            findings.append(
-                Diagnostic(Severity.ERROR, "undriven-net",
-                           f"net {name!r} has no driver")
-            )
-        if net.fanout == 0 and name not in netlist.primary_outputs:
-            findings.append(
-                Diagnostic(Severity.WARNING, "dangling-net",
-                           f"net {name!r} has no loads and is not a PO")
-            )
-        if net.fanout > FANOUT_WARNING_THRESHOLD:
-            findings.append(
-                Diagnostic(Severity.WARNING, "high-fanout",
-                           f"net {name!r} fans out to {net.fanout} loads")
-            )
-        if net.wire_cap < 0 or net.wire_res < 0:
-            findings.append(
-                Diagnostic(Severity.ERROR, "negative-parasitic",
-                           f"net {name!r} has negative wire RC")
-            )
-    if not netlist.primary_inputs:
-        findings.append(
-            Diagnostic(Severity.ERROR, "no-inputs", "design has no primary inputs")
-        )
-    if not netlist.primary_outputs:
-        findings.append(
-            Diagnostic(Severity.ERROR, "no-outputs", "design has no primary outputs")
-        )
-    try:
-        list(netlist.topological_nets())
-    except NetlistError as exc:
-        findings.append(Diagnostic(Severity.ERROR, "cycle", str(exc)))
-    return findings
+    """Lint a netlist; returns findings (possibly empty).
+
+    Runs the framework's structural (``netlist``) rules only — exactly the
+    pre-framework rule set plus whatever structural rules have been added
+    since.
+    """
+    from ..lint import run_lint
+
+    report = run_lint(netlist, categories=("netlist",))
+    return [_to_diagnostic(f) for f in report.findings]
 
 
 def validate_design(design: Design) -> List[Diagnostic]:
-    """Lint a full design (netlist plus coupling sanity)."""
-    findings = validate_netlist(design.netlist)
-    for cc in design.coupling:
-        for terminal in (cc.net_a, cc.net_b):
-            if terminal not in design.netlist.nets:
-                findings.append(
-                    Diagnostic(
-                        Severity.ERROR,
-                        "coupling-unknown-net",
-                        f"coupling {cc.index} touches unknown net {terminal!r}",
-                    )
-                )
-        if cc.cap <= 0:
-            findings.append(
-                Diagnostic(
-                    Severity.ERROR,
-                    "coupling-nonpositive",
-                    f"coupling {cc.index} has cap {cc.cap} fF",
-                )
-            )
-        total = design.netlist.load_cap(cc.net_a) + design.netlist.load_cap(cc.net_b)
-        if total > 0 and cc.cap > 50.0 * total:
-            findings.append(
-                Diagnostic(
-                    Severity.WARNING,
-                    "coupling-dominates",
-                    f"coupling {cc.index} ({cc.cap:.1f} fF) dwarfs the "
-                    f"grounded load of its terminals",
-                )
-            )
-    return findings
+    """Lint a full design (netlist plus coupling/parasitics sanity)."""
+    from ..lint import run_lint
+
+    report = run_lint(design, categories=("netlist", "coupling"))
+    return [_to_diagnostic(f) for f in report.findings]
 
 
 def assert_valid(design: Design) -> None:

@@ -26,28 +26,35 @@ from .circuit.placement import Placement, extract_coupling
 from .core.engine import ADDITION, ELIMINATION, TopKConfig
 
 
+#: Seed used when the user gives none (applies to every design source).
+DEFAULT_SEED = 0
+
+
 def _design_from_args(args: argparse.Namespace) -> Design:
+    # Normalize the seed exactly once: every source below sees the same
+    # concrete integer (previously make_paper_benchmark received a raw
+    # None while the other paths substituted 0).
+    seed = DEFAULT_SEED if args.seed is None else args.seed
     if args.benchmark:
-        return make_paper_benchmark(args.benchmark, seed=args.seed)
+        return make_paper_benchmark(args.benchmark, seed=seed)
     if args.bench_file:
         netlist = load_bench(args.bench_file)
-        placement = Placement(netlist, seed=args.seed or 0)
+        placement = Placement(netlist, seed=seed)
         annotate_parasitics(netlist, placement)
-        coupling = extract_coupling(placement, seed=args.seed or 0)
+        coupling = extract_coupling(placement, seed=seed)
         return Design(netlist=netlist, coupling=coupling, placement=placement)
-    return random_design(
-        "random", n_gates=args.gates, seed=args.seed or 0
-    )
+    return random_design("random", n_gates=args.gates, seed=seed)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-topk",
-        description=(
-            "Top-k aggressor sets in delay-noise analysis "
-            "(reproduction of Gandikota et al., DAC 2007)"
-        ),
-    )
+def design_from_args(args: argparse.Namespace) -> Design:
+    """Build the design selected by :func:`add_design_source_args` flags."""
+    return _design_from_args(args)
+
+
+def add_design_source_args(parser: argparse.ArgumentParser) -> None:
+    """Install the shared design-source flags (used by repro-topk and
+    repro-lint): ``--benchmark`` / ``--bench-file`` / ``--gates`` plus
+    ``--seed``."""
     src = parser.add_mutually_exclusive_group()
     src.add_argument(
         "--benchmark",
@@ -63,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=60,
         help="generate a random design with this many gates (default)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=f"generator seed (default {DEFAULT_SEED})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description=(
+            "Top-k aggressor sets in delay-noise analysis "
+            "(reproduction of Gandikota et al., DAC 2007)"
+        ),
+    )
+    add_design_source_args(parser)
     parser.add_argument("--k", type=int, default=5, help="set size (default 5)")
     parser.add_argument(
         "--mode",
@@ -70,7 +94,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=ELIMINATION,
         help="which top-k flavor to compute (default elimination)",
     )
-    parser.add_argument("--seed", type=int, default=None, help="generator seed")
     parser.add_argument(
         "--grid-points", type=int, default=256, help="envelope grid resolution"
     )
@@ -84,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-oracle",
         action="store_true",
         help="skip the exact re-evaluation of the selected set",
+    )
+    parser.add_argument(
+        "--lint",
+        choices=("preflight", "audit"),
+        default=None,
+        help=(
+            "run the lint preflight before solving (and, with 'audit', the "
+            "Theorem-1 dominance audit after); errors abort the run"
+        ),
     )
     parser.add_argument(
         "--explain",
@@ -135,8 +167,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"design {stats.name}: {stats.gates} gates, {stats.nets} nets, "
         f"{stats.coupling_caps} coupling caps"
     )
-    result = analyze(design, k=args.k, mode=args.mode, config=config)
+    result = analyze(
+        design, k=args.k, mode=args.mode, config=config, lint=args.lint
+    )
     print(result.summary())
+    if result.lint_report is not None:
+        print(f"lint: {result.lint_report.summary()}")
 
     if args.explain and result.couplings:
         from .core.explain import explain_set

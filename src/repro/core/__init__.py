@@ -25,6 +25,7 @@ from .engine import (
     ELIMINATION,
     SINK,
     EngineSolution,
+    PruneRecord,
     SolveStats,
     TopKConfig,
     TopKEngine,
@@ -47,6 +48,7 @@ __all__ = [
     "ELIMINATION",
     "EngineSolution",
     "EnvelopeSet",
+    "PruneRecord",
     "SINK",
     "SetError",
     "SignoffError",

@@ -22,7 +22,7 @@ kernel since it runs once per candidate per victim per cardinality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,6 +102,7 @@ def reduce_irredundant(
     grid: Grid,
     maximize: bool,
     max_sets: Optional[int] = None,
+    recorder: Optional[Callable[[EnvelopeSet, EnvelopeSet], None]] = None,
 ) -> Tuple[List[EnvelopeSet], int]:
     """Keep the non-dominated candidates (the irredundant list).
 
@@ -121,6 +122,11 @@ def reduce_irredundant(
         direction is identical; only the sort key flips).
     max_sets:
         Optional beam cap applied after dominance (None = exact).
+    recorder:
+        Optional callback invoked as ``recorder(dominator, dominated)``
+        for every pruned candidate — the hook the dominance-soundness
+        audit (:mod:`repro.lint.audit`) uses to re-check Theorem 1 on the
+        sets the engine actually discarded.
 
     Returns
     -------
@@ -148,16 +154,16 @@ def reduce_irredundant(
         if count >= limit:
             break
         cand_masked = cand.env[mask]
-        if count and bool(
-            np.any(
-                np.all(
-                    kept_matrix[:count] >= cand_masked - ENCAPSULATION_TOL,
-                    axis=1,
-                )
+        if count:
+            dominates = np.all(
+                kept_matrix[:count] >= cand_masked - ENCAPSULATION_TOL,
+                axis=1,
             )
-        ):
-            dominated += 1
-            continue
+            if bool(dominates.any()):
+                if recorder is not None:
+                    recorder(kept[int(np.argmax(dominates))], cand)
+                dominated += 1
+                continue
         kept_matrix[count] = cand_masked
         count += 1
         kept.append(cand)

@@ -93,6 +93,13 @@ class TopKConfig:
     horizon_margin:
         Multiple of the nominal circuit delay used as the "infinite
         window" horizon.
+    audit_dominance:
+        Record every dominance pruning decision in
+        :attr:`TopKEngine.prune_log` so the lint subsystem's
+        Theorem-1 audit (:mod:`repro.lint.audit`) can re-check the
+        envelope-encapsulation preconditions on the sets the engine
+        actually discarded.  Off by default (the log holds envelope
+        references for every pruned candidate).
     """
 
     grid_points: int = 256
@@ -104,6 +111,7 @@ class TopKConfig:
     evaluate_with_oracle: bool = True
     oracle_rescore_top: int = 1
     horizon_margin: float = 2.0
+    audit_dominance: bool = False
 
     def __post_init__(self) -> None:
         if self.grid_points < 8:
@@ -176,6 +184,21 @@ class _VictimContext:
     shift_tot: float = 0.0  # elimination mode: estimated total shift here
 
 
+@dataclass(frozen=True)
+class PruneRecord:
+    """One dominance pruning decision, kept for the soundness audit.
+
+    ``dominator`` is the already-kept candidate whose envelope
+    encapsulated ``dominated`` over the victim's dominance interval when
+    the engine discarded the latter (Theorem 1 application).
+    """
+
+    net: str
+    cardinality: int
+    dominator: EnvelopeSet
+    dominated: EnvelopeSet
+
+
 @dataclass
 class EngineSolution:
     """Raw solver output (before oracle evaluation)."""
@@ -229,6 +252,7 @@ class TopKEngine:
             self.window_timing = self.nominal
         self.contexts: Dict[str, _VictimContext] = {}
         self.stats = SolveStats()
+        self.prune_log: List[PruneRecord] = []
         self._solved_upto = 0
         self._build_contexts()
 
@@ -486,12 +510,20 @@ class TopKEngine:
             candidates, keep_best=True, by_score_desc=self.mode == ADDITION
         )
         self.stats.candidates += len(candidates)
+        recorder = None
+        if cfg.audit_dominance:
+            log, net = self.prune_log, ctx.net
+
+            def recorder(dominator: EnvelopeSet, pruned: EnvelopeSet) -> None:
+                log.append(PruneRecord(net, i, dominator, pruned))
+
         kept, dominated = reduce_irredundant(
             candidates,
             ctx.interval,
             ctx.grid,
             maximize=self.mode == ADDITION,
             max_sets=cfg.max_sets_per_cardinality,
+            recorder=recorder,
         )
         self.stats.dominated += dominated
         ctx.ilists[i] = kept

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple
 
 from ..circuit.design import Design
 from .engine import SolveStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.framework import LintReport
 
 
 @dataclass(frozen=True)
@@ -54,6 +57,9 @@ class TopKResult:
         Wall-clock seconds spent in the solver (excluding the oracle).
     stats:
         Enumeration counters.
+    lint_report:
+        Findings of the lint preflight / dominance audit when the query
+        ran with ``analyze(..., lint=...)``; ``None`` otherwise.
     """
 
     mode: str
@@ -66,6 +72,7 @@ class TopKResult:
     all_aggressor_delay: Optional[float]
     runtime_s: float
     stats: SolveStats = field(default_factory=SolveStats)
+    lint_report: Optional["LintReport"] = None
 
     @property
     def effective_k(self) -> int:

@@ -1,0 +1,104 @@
+"""Baseline files: snapshot known findings so CI fails only on regressions.
+
+A baseline is a JSON file mapping finding fingerprints (rule code +
+design + location — deliberately not the message, which carries volatile
+numbers) to occurrence counts.  The workflow:
+
+1. ``repro-lint ... --baseline lint-baseline.json --update-baseline``
+   writes the current findings as the accepted debt.
+2. CI runs ``repro-lint ... --baseline lint-baseline.json``; findings
+   covered by the baseline are filtered out, so the exit code only
+   reflects *new* findings.
+3. Fixing debt then shrinking the baseline is a normal code change.
+
+Counts are honored: a baseline entry with count 2 absorbs at most two
+occurrences of that fingerprint — a third identical finding is new.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .framework import Finding, LintReport
+
+BASELINE_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or incompatible baseline files."""
+
+
+@dataclass
+class Baseline:
+    """An accepted-findings snapshot."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in report.findings:
+            fp = finding.fingerprint()
+            counts[fp] = counts.get(fp, 0) + 1
+        return cls(counts=counts)
+
+    def absorbs(self, finding: Finding, seen: Dict[str, int]) -> bool:
+        """Whether ``finding`` is covered (mutates the ``seen`` tally)."""
+        fp = finding.fingerprint()
+        used = seen.get(fp, 0)
+        if used < self.counts.get(fp, 0):
+            seen[fp] = used + 1
+            return True
+        return False
+
+    def filter(self, report: LintReport) -> LintReport:
+        """The report with baseline-covered findings removed."""
+        seen: Dict[str, int] = {}
+        fresh: List[Finding] = []
+        for finding in report.findings:
+            if not self.absorbs(finding, seen):
+                fresh.append(finding)
+        return LintReport(
+            findings=fresh,
+            design_name=report.design_name,
+            suppressed=report.suppressed,
+        )
+
+    def save(self, path: str) -> None:
+        payload = {
+            "format": BASELINE_FORMAT_VERSION,
+            "tool": "repro-lint",
+            "findings": dict(sorted(self.counts.items())),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            raise BaselineError(f"baseline file {path!r} does not exist")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(f"baseline {path!r} has no 'findings' map")
+        version = payload.get("format")
+        if version != BASELINE_FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path!r} has format {version!r}; this tool "
+                f"writes format {BASELINE_FORMAT_VERSION}"
+            )
+        findings = payload["findings"]
+        if not isinstance(findings, dict) or not all(
+            isinstance(v, int) and v >= 0 for v in findings.values()
+        ):
+            raise BaselineError(
+                f"baseline {path!r} findings must map fingerprints to counts"
+            )
+        return cls(counts=dict(findings))

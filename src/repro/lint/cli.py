@@ -1,0 +1,212 @@
+"""Command-line entry point: ``repro-lint``.
+
+Examples
+--------
+Lint one paper benchmark, human-readable::
+
+    repro-lint --benchmark i3
+
+Lint every paper benchmark and emit SARIF for CI code-scanning upload::
+
+    repro-lint --all-benchmarks --format sarif --output lint.sarif
+
+Accept the current findings as debt, then fail only on regressions::
+
+    repro-lint --gates 80 --baseline lint-baseline.json --update-baseline
+    repro-lint --gates 80 --baseline lint-baseline.json
+
+Run the Theorem-1 dominance audit on top of the static rules::
+
+    repro-lint --benchmark i1 --audit --k 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..circuit.design import Design
+from ..circuit.generator import PAPER_BENCHMARKS, make_paper_benchmark
+from ..core.engine import TopKConfig
+from .baseline import Baseline, BaselineError
+from .framework import LintConfig, LintReport, Severity, run_lint
+from .reporters import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # Imported here (not at module top) to keep repro.lint import-light:
+    # repro.cli pulls in the whole solver facade.
+    from ..cli import add_design_source_args
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for delay-noise designs and top-k analyses "
+            "(rule catalog in docs/lint.md)"
+        ),
+    )
+    add_design_source_args(parser)
+    parser.add_argument(
+        "--all-benchmarks",
+        action="store_true",
+        help="lint every paper benchmark i1..i10 (overrides other sources)",
+    )
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="intended top-k set size (enables the k-dependent config rules)",
+    )
+    parser.add_argument(
+        "--grid-points",
+        type=int,
+        default=256,
+        help="grid resolution the analysis would use (config rules)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "additionally solve a top-k run with dominance auditing enabled "
+            "and re-check Theorem 1 on every pruned set"
+        ),
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("addition", "elimination"),
+        default="addition",
+        help="solver flavor used by --audit (default addition)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--disable",
+        default="",
+        metavar="CODES",
+        help=(
+            "comma-separated suppressions: rule codes (RPR103), globs "
+            "(RPR4*) or categories (timing)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="minimum severity that makes the exit code non-zero",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file: filter out known findings (see docs/lint.md)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit clean",
+    )
+    return parser
+
+
+def _lint_config(args: argparse.Namespace) -> LintConfig:
+    disabled = frozenset(
+        token.strip() for token in args.disable.split(",") if token.strip()
+    )
+    fail_on = (
+        None if args.fail_on == "never" else Severity(args.fail_on)
+    )
+    return LintConfig(disabled=disabled, fail_on=fail_on)
+
+
+def _lint_one(design: Design, args: argparse.Namespace, cfg: LintConfig) -> LintReport:
+    analysis_config = TopKConfig(grid_points=args.grid_points)
+    report = run_lint(
+        design,
+        analysis_config=analysis_config,
+        k=args.k,
+        config=cfg,
+    )
+    if args.audit:
+        from dataclasses import replace
+
+        from ..core.engine import TopKEngine
+
+        engine = TopKEngine(
+            design, args.mode, replace(analysis_config, audit_dominance=True)
+        )
+        engine.solve(args.k if args.k is not None else 3)
+        report = report.merged_with(
+            run_lint(design, engine=engine, config=cfg, categories=("audit",))
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline PATH")
+    cfg = _lint_config(args)
+
+    if args.all_benchmarks:
+        from ..cli import DEFAULT_SEED
+
+        seed = DEFAULT_SEED if args.seed is None else args.seed
+        names = sorted(PAPER_BENCHMARKS, key=lambda n: int(n[1:]))
+        designs = [make_paper_benchmark(n, seed=seed) for n in names]
+    else:
+        from ..cli import design_from_args
+
+        try:
+            designs = [design_from_args(args)]
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot build design: {exc}", file=sys.stderr)
+            return 2
+
+    reports = [_lint_one(design, args, cfg) for design in designs]
+
+    if args.baseline:
+        if args.update_baseline:
+            merged = reports[0]
+            for extra in reports[1:]:
+                merged = merged.merged_with(extra)
+            Baseline.from_report(merged).save(args.baseline)
+            print(
+                f"baseline updated: {args.baseline} "
+                f"({len(merged.findings)} finding(s) accepted)"
+            )
+            return 0
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reports = [baseline.filter(r) for r in reports]
+
+    text = render(reports if len(reports) > 1 else reports[0], args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        total = sum(len(r.findings) for r in reports)
+        print(f"wrote {args.format} report ({total} finding(s)) to {args.output}")
+    else:
+        print(text)
+
+    failed = any(r.has_failures(cfg.fail_on) for r in reports)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

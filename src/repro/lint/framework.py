@@ -1,0 +1,422 @@
+"""The rule framework behind ``repro-lint``.
+
+A *rule* is a plain generator-style function registered with the
+:func:`rule` decorator::
+
+    @rule("RPR101", Severity.ERROR, "netlist", legacy="undriven-net")
+    def undriven_net(ctx, report):
+        \"\"\"Every net must have exactly one driver.\"\"\"
+        for name, net in ctx.netlist.nets.items():
+            if net.driver is None:
+                report(f"net {name!r} has no driver", location=f"net:{name}")
+
+The decorator validates the code format (``RPR###``), enforces docstrings
+(they are the rule catalog), and registers the rule in the process-wide
+:data:`RULE_REGISTRY`.  :func:`run_lint` selects the rules applicable to
+what the caller handed it (a bare netlist, a full design, an analysis
+config, or a solved engine for the dominance audit), runs them, and
+returns a :class:`LintReport`.
+
+Severities form a ladder (``INFO < WARNING < ERROR``); by convention only
+ERROR findings block analysis.  Rules never raise on dirty input — a rule
+that crashes is itself reported as an ERROR finding so one bad rule cannot
+take down a preflight.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Union,
+)
+
+from ..circuit.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuit.design import Design
+    from ..core.engine import TopKConfig, TopKEngine
+    from ..timing.sta import TimingResult
+
+
+class LintError(ValueError):
+    """Raised when a lint preflight finds blocking (error) findings."""
+
+
+class RuleDefinitionError(ValueError):
+    """Raised at import time for malformed rule registrations."""
+
+
+class Severity(enum.Enum):
+    """Finding severity ladder: ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+#: Rule categories in the order reports list them.  Each category maps to
+#: what the rule needs to run (see :meth:`Rule.applicable`).
+CATEGORIES = ("netlist", "coupling", "timing", "config", "audit")
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding (an instance of a rule firing)."""
+
+    code: str
+    severity: Severity
+    category: str
+    message: str
+    location: str = ""
+    rule_name: str = ""
+    design: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline workflow.
+
+        Deliberately excludes the message text (messages carry volatile
+        numbers) — two findings of the same rule at the same location are
+        the same finding.
+        """
+        return f"{self.code}|{self.design}|{self.location}"
+
+    def __str__(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        return f"{self.code} [{self.severity.value}]{where}: {self.message}"
+
+
+#: Signature of the ``report`` callback handed to rule check functions.
+Reporter = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    severity: Severity
+    category: str
+    name: str
+    doc: str
+    check: Callable[["LintContext", Reporter], None]
+    legacy: Optional[str] = None
+
+    def applicable(self, ctx: "LintContext") -> bool:
+        """Whether the context carries what this rule's category needs."""
+        if self.category == "netlist":
+            return True
+        if self.category in ("coupling", "timing"):
+            return ctx.design is not None
+        if self.category == "config":
+            return ctx.design is not None and ctx.analysis_config is not None
+        if self.category == "audit":
+            return ctx.engine is not None
+        return False  # pragma: no cover - unreachable for registered rules
+
+    def run(self, ctx: "LintContext") -> List[Finding]:
+        """Execute the rule; a crash becomes an ERROR finding, not a raise."""
+        findings: List[Finding] = []
+
+        def report(
+            message: str,
+            *,
+            location: str = "",
+            severity: Optional[Severity] = None,
+        ) -> None:
+            findings.append(
+                Finding(
+                    code=self.code,
+                    severity=severity if severity is not None else self.severity,
+                    category=self.category,
+                    message=message,
+                    location=location,
+                    rule_name=self.name,
+                    design=ctx.design_name,
+                )
+            )
+
+        try:
+            self.check(ctx, report)
+        except Exception as exc:  # noqa: BLE001 - rules must not kill the run
+            findings.append(
+                Finding(
+                    code=self.code,
+                    severity=Severity.ERROR,
+                    category=self.category,
+                    message=f"lint rule {self.name!r} crashed: {exc!r}",
+                    location="",
+                    rule_name=self.name,
+                    design=ctx.design_name,
+                )
+            )
+        return findings
+
+
+#: Process-wide registry: rule code -> :class:`Rule`.
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str,
+    severity: Severity,
+    category: str,
+    legacy: Optional[str] = None,
+) -> Callable[[Callable], Callable]:
+    """Register a check function as lint rule ``code``.
+
+    Parameters
+    ----------
+    code:
+        ``RPR###`` identifier, unique process-wide.
+    severity:
+        Default severity of findings (a rule may override per finding).
+    category:
+        One of :data:`CATEGORIES`; decides when the rule is applicable.
+    legacy:
+        Optional pre-framework diagnostic code kept for the
+        :mod:`repro.circuit.validate` backward-compatible shims.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        if not _CODE_RE.match(code):
+            raise RuleDefinitionError(
+                f"rule code {code!r} does not match 'RPR###'"
+            )
+        if code in RULE_REGISTRY:
+            raise RuleDefinitionError(
+                f"duplicate rule code {code!r} "
+                f"(already {RULE_REGISTRY[code].name!r})"
+            )
+        if category not in CATEGORIES:
+            raise RuleDefinitionError(
+                f"rule {code}: unknown category {category!r}"
+            )
+        if not (fn.__doc__ or "").strip():
+            raise RuleDefinitionError(
+                f"rule {code} ({fn.__name__}) needs a docstring — "
+                "it is the rule catalog entry"
+            )
+        RULE_REGISTRY[code] = Rule(
+            code=code,
+            severity=severity,
+            category=category,
+            name=fn.__name__.replace("_", "-"),
+            doc=fn.__doc__.strip(),
+            check=fn,
+            legacy=legacy,
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in code order (the catalog)."""
+    return [RULE_REGISTRY[c] for c in sorted(RULE_REGISTRY)]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at.
+
+    Built by :func:`run_lint`; rules receive it read-only.  ``sta`` is
+    computed lazily (and memoized) because timing/config rules need it but
+    structural rules must work on designs where STA would raise.
+    """
+
+    netlist: Netlist
+    design: Optional["Design"] = None
+    analysis_config: Optional["TopKConfig"] = None
+    k: Optional[int] = None
+    engine: Optional["TopKEngine"] = None
+    _sta: Optional["TimingResult"] = field(default=None, repr=False)
+    _sta_failed: bool = field(default=False, repr=False)
+
+    @property
+    def design_name(self) -> str:
+        return self.netlist.name
+
+    @property
+    def sta(self) -> Optional["TimingResult"]:
+        """Noiseless STA of the netlist, or None if the structure is too
+        broken to time (undriven nets, combinational cycles)."""
+        if self._sta is None and not self._sta_failed:
+            from ..timing.sta import run_sta
+
+            try:
+                self._sta = run_sta(self.netlist)
+            except Exception:  # noqa: BLE001 - structural dirt is expected
+                self._sta_failed = True
+        return self._sta
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Run-time lint options: suppression and failure threshold.
+
+    Attributes
+    ----------
+    disabled:
+        Suppression set: exact codes (``"RPR103"``), fnmatch globs
+        (``"RPR4*"``) or category names (``"timing"``).
+    fail_on:
+        Minimum severity that makes :meth:`LintReport.has_failures` true
+        (and ``repro-lint`` exit non-zero).  ``None`` disables failing.
+    """
+
+    disabled: FrozenSet[str] = frozenset()
+    fail_on: Optional[Severity] = Severity.ERROR
+
+    def suppresses(self, rule_: Rule) -> bool:
+        for pattern in self.disabled:
+            if pattern == rule_.category:
+                return True
+            if fnmatch.fnmatchcase(rule_.code, pattern):
+                return True
+        return False
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    design_name: str = ""
+    suppressed: int = 0
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for f in self.findings:
+            out[f.severity.value] += 1
+        return out
+
+    def worst(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings), key=lambda s: s.rank)
+
+    def has_failures(self, fail_on: Optional[Severity] = Severity.ERROR) -> bool:
+        if fail_on is None:
+            return False
+        return any(f.severity.at_least(fail_on) for f in self.findings)
+
+    def merged_with(self, other: "LintReport") -> "LintReport":
+        name = self.design_name
+        if other.design_name and other.design_name != name:
+            name = f"{name}+{other.design_name}" if name else other.design_name
+        return LintReport(
+            findings=self.findings + other.findings,
+            design_name=name,
+            suppressed=self.suppressed + other.suppressed,
+        )
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"{len(self.findings)} finding(s): {c['error']} error(s), "
+            f"{c['warning']} warning(s), {c['info']} info"
+            + (f" ({self.suppressed} suppressed)" if self.suppressed else "")
+        )
+
+
+def run_lint(
+    target: Union["Design", Netlist],
+    *,
+    analysis_config: Optional["TopKConfig"] = None,
+    k: Optional[int] = None,
+    engine: Optional["TopKEngine"] = None,
+    config: Optional[LintConfig] = None,
+    categories: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint a design (or bare netlist) and return the findings.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.circuit.design.Design` (all categories) or a bare
+        :class:`~repro.circuit.netlist.Netlist` (structure rules only).
+    analysis_config / k:
+        Enable the ``config`` category: sanity of the solver knobs against
+        this design and the requested set size.
+    engine:
+        A solved :class:`~repro.core.engine.TopKEngine` — enables the
+        ``audit`` category (the Theorem-1 dominance audit).
+    config:
+        Suppression / failure options.
+    categories:
+        Restrict to these categories (default: every applicable one).
+    """
+    # Import for side effects: rule modules register themselves.
+    from . import audit, rules_config, rules_coupling, rules_netlist, rules_timing  # noqa: F401
+
+    cfg = config if config is not None else LintConfig()
+    if isinstance(target, Netlist):
+        netlist, design = target, None
+    else:
+        netlist, design = target.netlist, target
+    ctx = LintContext(
+        netlist=netlist,
+        design=design,
+        analysis_config=analysis_config,
+        k=k,
+        engine=engine,
+    )
+    wanted = set(categories) if categories is not None else None
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule_ in all_rules():
+        if wanted is not None and rule_.category not in wanted:
+            continue
+        if not rule_.applicable(ctx):
+            continue
+        if cfg.suppresses(rule_):
+            suppressed += 1
+            continue
+        findings.extend(rule_.run(ctx))
+    return LintReport(
+        findings=findings, design_name=ctx.design_name, suppressed=suppressed
+    )
+
+
+def assert_clean(report: LintReport) -> None:
+    """Raise :class:`LintError` when the report has ERROR findings."""
+    errors = report.errors
+    if errors:
+        head = "; ".join(str(f) for f in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise LintError(
+            f"lint found {len(errors)} blocking finding(s) on "
+            f"{report.design_name!r}: {head}{more}"
+        )

@@ -1,0 +1,207 @@
+"""Lint report renderers: plain text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI systems (GitHub code scanning, Azure
+DevOps, VS Code SARIF viewer) ingest; :func:`render_sarif` emits one run
+per report with the full rule catalog in ``tool.driver.rules`` so viewers
+can show rule documentation next to each result.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Union
+
+from .framework import (
+    Finding,
+    LintReport,
+    RULE_REGISTRY,
+    Severity,
+    all_rules,
+)
+
+#: SARIF schema location (the canonical OASIS URI).
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_FORMATS = ("text", "json", "sarif")
+
+
+def render(report: Union[LintReport, List[LintReport]], fmt: str) -> str:
+    """Render one report (or several) in the named format."""
+    reports = report if isinstance(report, list) else [report]
+    if fmt == "text":
+        return "\n\n".join(render_text(r) for r in reports)
+    if fmt == "json":
+        return render_json(reports)
+    if fmt == "sarif":
+        return render_sarif(reports)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {_FORMATS}")
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable listing, one finding per line, errors first."""
+    lines = [f"lint {report.design_name or '<design>'}: {report.summary()}"]
+    for finding in sorted(
+        report.findings, key=lambda f: (-f.severity.rank, f.code, f.location)
+    ):
+        lines.append(f"  {finding}")
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> Dict:
+    return {
+        "code": finding.code,
+        "rule": finding.rule_name,
+        "severity": finding.severity.value,
+        "category": finding.category,
+        "message": finding.message,
+        "location": finding.location,
+        "design": finding.design,
+        "fingerprint": finding.fingerprint(),
+    }
+
+
+def render_json(reports: Union[LintReport, List[LintReport]]) -> str:
+    """Machine-readable JSON: per-design findings plus severity counts."""
+    reports = reports if isinstance(reports, list) else [reports]
+    payload = {
+        "tool": "repro-lint",
+        "version": _tool_version(),
+        "designs": [
+            {
+                "design": r.design_name,
+                "summary": r.counts(),
+                "suppressed": r.suppressed,
+                "findings": [_finding_dict(f) for f in r.findings],
+            }
+            for r in reports
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(reports: Union[LintReport, List[LintReport]]) -> str:
+    """SARIF 2.1.0 document, one run per report."""
+    reports = reports if isinstance(reports, list) else [reports]
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [_sarif_run(r) for r in reports],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_run(report: LintReport) -> Dict:
+    used = sorted({f.code for f in report.findings})
+    catalog = [r for r in all_rules()]
+    rule_index = {r.code: i for i, r in enumerate(catalog)}
+    return {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "version": _tool_version(),
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": [
+                    {
+                        "id": r.code,
+                        "name": r.name,
+                        "shortDescription": {"text": _first_sentence(r.doc)},
+                        "fullDescription": {"text": r.doc},
+                        "defaultConfiguration": {
+                            "level": _SARIF_LEVEL[r.severity]
+                        },
+                        "properties": {"category": r.category},
+                    }
+                    for r in catalog
+                ],
+            }
+        },
+        "automationDetails": {"id": f"repro-lint/{report.design_name}"},
+        "results": [
+            _sarif_result(f, rule_index) for f in report.findings
+        ],
+        "columnKind": "utf16CodeUnits",
+        "properties": {
+            "design": report.design_name,
+            "suppressedRules": report.suppressed,
+            "rulesFired": used,
+        },
+    }
+
+
+def _sarif_result(finding: Finding, rule_index: Dict[str, int]) -> Dict:
+    result: Dict = {
+        "ruleId": finding.code,
+        "level": _SARIF_LEVEL[finding.severity],
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint(),
+        },
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    if finding.location or finding.design:
+        name = finding.location or finding.design
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {
+                        "name": name,
+                        "fullyQualifiedName": (
+                            f"{finding.design}::{finding.location}"
+                            if finding.design and finding.location
+                            else name
+                        ),
+                        "kind": "element",
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def rule_catalog_markdown() -> str:
+    """The rule catalog as a markdown table (used to build docs/lint.md)."""
+    lines = [
+        "| code | severity | category | rule | summary |",
+        "|---|---|---|---|---|",
+    ]
+    for r in all_rules():
+        lines.append(
+            f"| {r.code} | {r.severity.value} | {r.category} | "
+            f"`{r.name}` | {_first_sentence(r.doc)} |"
+        )
+    return "\n".join(lines)
+
+
+def _first_sentence(doc: str) -> str:
+    text = " ".join(doc.split())
+    for stop in (". ", "; "):
+        idx = text.find(stop)
+        if idx > 0:
+            return text[: idx + 1].rstrip("; ")
+    return text
+
+
+def _tool_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def severities_of(codes: Iterable[str]) -> Dict[str, str]:
+    """Severity lookup for a set of rule codes (reporting helper)."""
+    return {
+        c: RULE_REGISTRY[c].severity.value
+        for c in codes
+        if c in RULE_REGISTRY
+    }

@@ -1,0 +1,37 @@
+"""Shared fixtures for the lint test suite."""
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.netlist import Netlist
+
+
+def clean_netlist(name="v"):
+    nl = Netlist(name, default_library())
+    nl.add_primary_input("a")
+    nl.add_gate("g1", "INV_X1", ["a"], "y")
+    nl.add_primary_output("y")
+    return nl
+
+
+def clean_design(name="v"):
+    nl = clean_netlist(name)
+    cg = CouplingGraph(nl)
+    cg.add("a", "y", 0.5)
+    return Design(netlist=nl, coupling=cg)
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+@pytest.fixture
+def netlist():
+    return clean_netlist()
+
+
+@pytest.fixture
+def design():
+    return clean_design()

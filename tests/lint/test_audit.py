@@ -1,0 +1,124 @@
+"""The Theorem-1 dominance-soundness audit (RPR5xx)."""
+
+import numpy as np
+import pytest
+
+from repro.api import analyze
+from repro.circuit.generator import make_paper_benchmark
+from repro.core.aggressor_set import EnvelopeSet
+from repro.core.engine import PruneRecord, TopKConfig, TopKEngine
+from repro.lint import LintError, run_lint
+
+from .conftest import codes
+
+
+@pytest.fixture
+def armed_engine():
+    engine = TopKEngine(
+        make_paper_benchmark("i1"), "addition", TopKConfig(audit_dominance=True)
+    )
+    engine.solve(2)
+    return engine
+
+
+def audit(engine):
+    return run_lint(engine.design, engine=engine, categories=("audit",))
+
+
+class TestAuditOnRealRuns:
+    def test_armed_solve_records_every_pruning(self, armed_engine):
+        assert armed_engine.prune_log
+        assert len(armed_engine.prune_log) == armed_engine.stats.dominated
+
+    def test_clean_run_audits_clean(self, armed_engine):
+        report = audit(armed_engine)
+        assert report.findings == []
+
+    def test_unarmed_engine_flagged_vacuous(self):
+        engine = TopKEngine(make_paper_benchmark("i1"), "addition", TopKConfig())
+        engine.solve(2)
+        assert engine.prune_log == []
+        found = [f for f in audit(engine).findings if f.code == "RPR504"]
+        assert found and "audit_dominance" in found[0].message
+
+    def test_out_of_sync_log_flagged(self, armed_engine):
+        armed_engine.prune_log.pop()
+        found = [f for f in audit(armed_engine).findings if f.code == "RPR504"]
+        assert found and "out of sync" in found[0].message
+
+    def test_elimination_mode_audits_clean(self):
+        engine = TopKEngine(
+            make_paper_benchmark("i1"),
+            "elimination",
+            TopKConfig(audit_dominance=True),
+        )
+        engine.solve(2)
+        assert audit(engine).findings == []
+
+
+class TestFabricatedViolations:
+    """Plant records that break Theorem 1 and check the audit catches them."""
+
+    def _template(self, engine):
+        rec = engine.prune_log[0]
+        return rec, np.zeros_like(rec.dominated.env)
+
+    def test_rpr501_encapsulation_violation(self, armed_engine):
+        rec, zeros = self._template(armed_engine)
+        bad = PruneRecord(
+            net=rec.net,
+            cardinality=1,
+            # The "dominator" envelope sits strictly BELOW the pruned one:
+            dominator=EnvelopeSet(couplings=frozenset({10**6}), env=zeros),
+            dominated=EnvelopeSet(couplings=frozenset({10**6 + 1}), env=zeros + 1.0),
+        )
+        armed_engine.prune_log.append(bad)
+        found = [f for f in audit(armed_engine).findings if f.code == "RPR501"]
+        assert found
+        assert found[0].location == f"victim:{rec.net}"
+        assert "not encapsulated" in found[0].message
+
+    def test_rpr502_score_inversion(self, armed_engine):
+        rec, zeros = self._template(armed_engine)
+        bad = PruneRecord(
+            net=rec.net,
+            cardinality=1,
+            # Identical envelopes (RPR501 stays quiet) but the pruned set
+            # scored far better than its dominator (addition maximizes):
+            dominator=EnvelopeSet(couplings=frozenset({10**6}), env=zeros, score=0.0),
+            dominated=EnvelopeSet(
+                couplings=frozenset({10**6 + 1}), env=zeros, score=1e6
+            ),
+        )
+        armed_engine.prune_log.append(bad)
+        found = codes(audit(armed_engine))
+        assert "RPR502" in found
+        assert "RPR501" not in found
+        # A 1e6 ns crossing also escapes every dominance interval:
+        assert "RPR503" in found
+
+
+class TestAnalyzeIntegration:
+    def test_analyze_audit_attaches_clean_report(self):
+        result = analyze(make_paper_benchmark("i1"), k=3, lint="audit")
+        assert result.lint_report is not None
+        assert result.lint_report.errors == []
+
+    def test_analyze_preflight_attaches_report(self):
+        result = analyze(make_paper_benchmark("i1"), k=2, lint="preflight")
+        assert result.lint_report is not None
+        assert result.lint_report.errors == []
+
+    def test_analyze_preflight_blocks_dirty_design(self):
+        design = make_paper_benchmark("i1")
+        design.netlist.add_net("floating")
+        with pytest.raises(LintError, match="RPR101"):
+            analyze(design, k=2, lint="preflight")
+
+    def test_analyze_rejects_unknown_lint_mode(self):
+        with pytest.raises(ValueError, match="lint"):
+            analyze(make_paper_benchmark("i1"), k=2, lint="everything")
+
+    def test_analyze_default_has_no_lint_report(self):
+        result = analyze(make_paper_benchmark("i1"), k=2)
+        assert result.lint_report is None

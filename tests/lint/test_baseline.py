@@ -1,0 +1,98 @@
+"""Baseline files: accept known debt, fail only on regressions."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineError, run_lint
+from repro.lint.framework import Finding, LintReport, Severity
+
+from .conftest import clean_netlist
+
+
+def dirty_report():
+    nl = clean_netlist("base")
+    nl.add_net("floating")
+    return run_lint(nl)
+
+
+def finding(code="RPR101", location="net:x", message="msg"):
+    return Finding(
+        code=code,
+        severity=Severity.ERROR,
+        category="netlist",
+        message=message,
+        location=location,
+        design="base",
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_filter(self, tmp_path):
+        report = dirty_report()
+        assert report.findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(report).save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.filter(report).findings == []
+
+    def test_file_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(dirty_report()).save(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert all(isinstance(v, int) for v in payload["findings"].values())
+
+
+class TestFiltering:
+    def test_new_finding_survives(self):
+        baseline = Baseline.from_report(LintReport(findings=[finding()]))
+        fresh = LintReport(findings=[finding(), finding(location="net:new")])
+        survivors = baseline.filter(fresh)
+        assert [f.location for f in survivors.findings] == ["net:new"]
+
+    def test_counts_are_honored(self):
+        # Baseline saw the fingerprint once; a second occurrence is new.
+        baseline = Baseline.from_report(LintReport(findings=[finding()]))
+        fresh = LintReport(findings=[finding(message="a"), finding(message="b")])
+        assert len(baseline.filter(fresh).findings) == 1
+
+    def test_message_changes_do_not_invalidate(self):
+        baseline = Baseline.from_report(
+            LintReport(findings=[finding(message="old wording")])
+        )
+        fresh = LintReport(findings=[finding(message="new wording")])
+        assert baseline.filter(fresh).findings == []
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="does not exist"):
+            Baseline.load(str(tmp_path / "nope.json"))
+
+    def test_unparseable(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(str(path))
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": 99, "findings": {}}))
+        with pytest.raises(BaselineError, match="format"):
+            Baseline.load(str(path))
+
+    def test_missing_findings_map(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"format": 1}))
+        with pytest.raises(BaselineError, match="findings"):
+            Baseline.load(str(path))
+
+    def test_bad_counts(self, tmp_path):
+        path = tmp_path / "bad-counts.json"
+        path.write_text(
+            json.dumps({"format": 1, "findings": {"fp": "three"}})
+        )
+        with pytest.raises(BaselineError, match="counts"):
+            Baseline.load(str(path))

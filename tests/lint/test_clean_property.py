@@ -1,0 +1,51 @@
+"""The linter must be error-clean on everything this repo generates.
+
+Acceptance property: every paper-benchmark stand-in and every
+``random_design`` output lints with zero error-severity findings under
+the default analysis configuration — the generators are supposed to
+produce analyzable designs, and the error rules encode exactly
+"analyzable".
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.generator import (
+    PAPER_BENCHMARKS,
+    make_paper_benchmark,
+    random_design,
+)
+from repro.core.engine import TopKConfig
+from repro.lint import Severity, run_lint
+
+
+def errors_of(design, k=3):
+    report = run_lint(design, analysis_config=TopKConfig(), k=k)
+    return [f for f in report.findings if f.severity is Severity.ERROR]
+
+
+@pytest.mark.parametrize(
+    "name", sorted(PAPER_BENCHMARKS, key=lambda n: int(n[1:]))
+)
+def test_paper_benchmarks_error_clean(name):
+    assert errors_of(make_paper_benchmark(name)) == []
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_benchmark_error_clean_across_seeds(seed):
+    assert errors_of(make_paper_benchmark("i1", seed=seed)) == []
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_gates=st.integers(min_value=5, max_value=40),
+)
+def test_random_designs_error_clean(seed, n_gates):
+    design = random_design(f"prop-{seed}", n_gates=n_gates, seed=seed)
+    assert errors_of(design) == []

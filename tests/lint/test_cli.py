@@ -1,0 +1,149 @@
+"""The repro-lint CLI, ``python -m repro`` dispatch, and --seed handling."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main as module_main
+from repro.circuit.generator import make_paper_benchmark
+from repro.cli import DEFAULT_SEED, build_parser, design_from_args
+from repro.lint.cli import main as lint_main
+
+#: A circuit whose only path is PI -> PO: lints with an RPR303 warning.
+DEGENERATE_BENCH = "INPUT(a)\nOUTPUT(a)\n"
+
+
+@pytest.fixture
+def warn_bench(tmp_path):
+    path = tmp_path / "degenerate.bench"
+    path.write_text(DEGENERATE_BENCH)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert lint_main(["--benchmark", "i1"]) == 0
+        out = capsys.readouterr().out
+        assert "lint i1" in out and "0 error(s)" in out
+
+    def test_warning_design_passes_default_threshold(self, warn_bench):
+        assert lint_main(["--bench-file", warn_bench]) == 0
+
+    def test_fail_on_warning(self, warn_bench, capsys):
+        assert lint_main(["--bench-file", warn_bench, "--fail-on", "warning"]) == 1
+        assert "RPR303" in capsys.readouterr().out
+
+    def test_fail_on_never(self, warn_bench):
+        assert lint_main(["--bench-file", warn_bench, "--fail-on", "never"]) == 0
+
+    def test_disable_suppresses_failure(self, warn_bench):
+        args = ["--bench-file", warn_bench, "--fail-on", "warning"]
+        assert lint_main(args + ["--disable", "RPR302,RPR303"]) == 0
+        assert lint_main(args + ["--disable", "RPR3*"]) == 0
+        assert lint_main(args + ["--disable", "timing"]) == 0
+
+
+class TestOutputs:
+    def test_sarif_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.sarif"
+        assert lint_main(
+            ["--benchmark", "i1", "--format", "sarif", "--output", str(out)]
+        ) == 0
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert "wrote sarif report" in capsys.readouterr().out
+
+    def test_json_stdout(self, capsys):
+        assert lint_main(["--benchmark", "i1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["designs"][0]["design"] == "i1"
+
+    def test_all_benchmarks_sarif_has_ten_runs(self, tmp_path):
+        out = tmp_path / "all.sarif"
+        assert lint_main(
+            ["--all-benchmarks", "--format", "sarif", "--output", str(out)]
+        ) == 0
+        assert len(json.loads(out.read_text())["runs"]) == 10
+
+    def test_audit_flag(self, capsys):
+        assert lint_main(["--benchmark", "i1", "--audit", "--k", "2"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_update_then_filter(self, warn_bench, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        strict = ["--bench-file", warn_bench, "--fail-on", "warning"]
+        # Dirty run fails...
+        assert lint_main(strict) == 1
+        # ...accept the debt...
+        assert lint_main(strict + ["--baseline", baseline, "--update-baseline"]) == 0
+        assert "baseline updated" in capsys.readouterr().out
+        # ...now the same findings are absorbed.
+        assert lint_main(strict + ["--baseline", baseline]) == 0
+
+    def test_unreadable_baseline_exits_two(self, warn_bench, capsys):
+        code = lint_main(["--bench-file", warn_bench, "--baseline", "/nonexistent.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline(self, warn_bench, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--bench-file", warn_bench, "--update-baseline"])
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_missing_bench_file_exits_two(self, capsys):
+        assert lint_main(["--bench-file", "/nonexistent.bench"]) == 2
+        assert "cannot build design" in capsys.readouterr().err
+
+
+class TestModuleDispatch:
+    def test_python_m_repro_lint(self, capsys):
+        assert module_main(["lint", "--benchmark", "i1"]) == 0
+        assert "lint i1" in capsys.readouterr().out
+
+    def test_subprocess_entry(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--benchmark", "i1"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "lint i1" in proc.stdout
+
+    def test_topk_help(self):
+        for args in (["--help"], ["topk", "--help"]):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro"] + args,
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert "repro-topk" in proc.stdout
+
+
+class TestSeedNormalization:
+    """Satellite: every design source resolves --seed the same way."""
+
+    def _args(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_benchmark_defaults_to_default_seed(self):
+        design = design_from_args(self._args(["--benchmark", "i1"]))
+        explicit = make_paper_benchmark("i1", seed=DEFAULT_SEED)
+        assert len(design.coupling) == len(explicit.coupling)
+        assert design.netlist.gate_count() == explicit.netlist.gate_count()
+
+    def test_benchmark_honors_explicit_seed(self):
+        a = design_from_args(self._args(["--benchmark", "i1", "--seed", "7"]))
+        b = make_paper_benchmark("i1", seed=7)
+        assert len(a.coupling) == len(b.coupling)
+
+    def test_random_source_seeded_consistently(self):
+        a = design_from_args(self._args(["--gates", "20"]))
+        b = design_from_args(self._args(["--gates", "20", "--seed", str(DEFAULT_SEED)]))
+        assert len(a.coupling) == len(b.coupling)
+        assert sorted(a.netlist.nets) == sorted(b.netlist.nets)

@@ -1,0 +1,165 @@
+"""Text / JSON / SARIF reporters."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    all_rules,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    rule_catalog_markdown,
+    run_lint,
+)
+
+from .conftest import clean_netlist
+
+
+@pytest.fixture
+def dirty_report():
+    nl = clean_netlist("dirty")
+    nl.add_net("floating")
+    nl.add_gate("g2", "INV_X1", ["a"], "unused")
+    return run_lint(nl)
+
+
+@pytest.fixture
+def clean_report():
+    return run_lint(clean_netlist("spotless"))
+
+
+class TestText:
+    def test_contains_findings_and_summary(self, dirty_report):
+        text = render_text(dirty_report)
+        assert "RPR101" in text and "RPR102" in text
+        assert "dirty" in text
+        assert "error" in text
+
+    def test_clean_report(self, clean_report):
+        text = render_text(clean_report)
+        assert "0 finding(s)" in text
+
+
+class TestJson:
+    def test_structure(self, dirty_report):
+        payload = json.loads(render_json(dirty_report))
+        assert payload["tool"] == "repro-lint"
+        (design,) = payload["designs"]
+        assert design["design"] == "dirty"
+        assert design["summary"]["error"] >= 1
+        codes = {f["code"] for f in design["findings"]}
+        assert "RPR101" in codes
+
+    def test_multiple_reports(self, dirty_report, clean_report):
+        payload = json.loads(render_json([dirty_report, clean_report]))
+        assert [d["design"] for d in payload["designs"]] == ["dirty", "spotless"]
+
+
+class TestSarif:
+    def test_structure(self, dirty_report):
+        sarif = json.loads(render_sarif(dirty_report))
+        assert sarif["version"] == "2.1.0"
+        assert "sarif" in sarif["$schema"]
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        # The full rule catalog rides along so viewers can show help text.
+        assert {r["id"] for r in driver["rules"]} == {r.code for r in all_rules()}
+        results = run["results"]
+        assert results
+        for result in results:
+            assert result["ruleId"].startswith("RPR")
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            assert result["partialFingerprints"]
+
+    def test_level_mapping(self, dirty_report):
+        sarif = json.loads(render_sarif(dirty_report))
+        by_rule = {r["ruleId"]: r["level"] for r in sarif["runs"][0]["results"]}
+        assert by_rule["RPR101"] == "error"
+        assert by_rule["RPR102"] == "warning"
+
+    def test_one_run_per_report(self, dirty_report, clean_report):
+        sarif = json.loads(render_sarif([dirty_report, clean_report]))
+        assert len(sarif["runs"]) == 2
+
+    def test_schema_valid(self, dirty_report):
+        jsonschema = pytest.importorskip("jsonschema")
+        # Offline structural subset of the SARIF 2.1.0 schema covering
+        # everything the reporter emits.
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "$schema": {"type": "string"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name", "rules"],
+                                        "properties": {
+                                            "name": {"type": "string"},
+                                            "rules": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "required": ["id"],
+                                                },
+                                            },
+                                        },
+                                    }
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["ruleId", "level", "message"],
+                                    "properties": {
+                                        "ruleId": {"type": "string"},
+                                        "level": {
+                                            "enum": ["error", "warning", "note"]
+                                        },
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(json.loads(render_sarif(dirty_report)), schema)
+
+
+class TestRenderDispatch:
+    def test_formats(self, clean_report):
+        assert render(clean_report, "text") == render_text(clean_report)
+        assert render(clean_report, "json") == render_json(clean_report)
+        assert render(clean_report, "sarif") == render_sarif(clean_report)
+
+    def test_unknown_format(self, clean_report):
+        with pytest.raises(ValueError, match="format"):
+            render(clean_report, "xml")
+
+
+class TestCatalog:
+    def test_markdown_covers_every_rule(self):
+        table = rule_catalog_markdown()
+        for rule_ in all_rules():
+            assert rule_.code in table

@@ -1,0 +1,219 @@
+"""Unit tests, one (or more) per built-in rule."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingCap, CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.generator import random_design
+from repro.circuit.netlist import Netlist
+from repro.core.engine import TopKConfig
+from repro.lint import RULE_REGISTRY, Severity, run_lint
+from repro.lint.framework import LintContext
+from repro.noise.analysis import NoiseConfig
+
+from .conftest import clean_design, clean_netlist, codes
+
+
+def run_rule(code, ctx):
+    return RULE_REGISTRY[code].run(ctx)
+
+
+class TestNetlistRules:
+    def test_rpr101_undriven_net(self, netlist):
+        netlist.add_net("floating")
+        report = run_lint(netlist)
+        assert "RPR101" in codes(report)
+
+    def test_rpr102_dangling_net(self, netlist):
+        netlist.add_gate("g2", "INV_X1", ["a"], "unused")
+        found = [f for f in run_lint(netlist).findings if f.code == "RPR102"]
+        assert found and found[0].severity is Severity.WARNING
+        assert found[0].location == "net:unused"
+
+    def test_rpr103_high_fanout(self):
+        nl = Netlist("v", default_library())
+        nl.add_primary_input("a")
+        for i in range(20):
+            nl.add_gate(f"g{i}", "INV_X1", ["a"], f"n{i}")
+            nl.add_primary_output(f"n{i}")
+        assert "RPR103" in codes(run_lint(nl))
+
+    def test_rpr104_rpr105_no_io(self):
+        nl = Netlist("v", default_library())
+        found = codes(run_lint(nl))
+        assert "RPR104" in found and "RPR105" in found
+
+    def test_rpr106_cycle(self):
+        nl = Netlist("v", default_library())
+        nl.add_primary_input("a")
+        nl.add_gate("g1", "NAND2_X1", ["a", "q"], "p")
+        nl.add_gate("g2", "INV_X1", ["p"], "q")
+        nl.add_primary_output("q")
+        assert "RPR106" in codes(run_lint(nl))
+
+    def test_rpr106_silent_when_undriven(self, netlist):
+        # An undriven net already breaks topological order; the cycle rule
+        # defers to RPR101 instead of reporting a spurious cycle.
+        netlist.add_net("floating")
+        found = codes(run_lint(netlist))
+        assert "RPR101" in found and "RPR106" not in found
+
+    def test_rpr107_negative_parasitic(self, netlist):
+        netlist.net("y").wire_cap = -1.0
+        assert "RPR107" in codes(run_lint(netlist))
+
+
+class TestCouplingRules:
+    # The CouplingGraph constructor validates its inputs, so the broken
+    # couplings these rules exist for (SPEF/netlist disagreements) are
+    # simulated by tampering with the graph's storage.
+
+    def test_rpr201_unknown_net(self, design):
+        design.coupling._caps[0] = CouplingCap(0, "a", "ghost", 0.5)
+        assert "RPR201" in codes(run_lint(design))
+
+    def test_rpr202_nonpositive_cap(self, design):
+        design.coupling._caps[0] = CouplingCap(0, "a", "y", 0.0)
+        assert "RPR202" in codes(run_lint(design))
+
+    def test_rpr203_coupling_dominates_load(self, netlist):
+        cg = CouplingGraph(netlist)
+        cg.add("a", "y", 1e4)
+        assert "RPR203" in codes(run_lint(Design(netlist=netlist, coupling=cg)))
+
+    def test_rpr204_self_coupling(self, design):
+        design.coupling._caps[0] = CouplingCap(0, "a", "a", 0.5)
+        assert "RPR204" in codes(run_lint(design))
+
+    def test_rpr205_unloaded_terminals(self):
+        # Two inputs with no loads at all (primary outputs would carry a
+        # pin load): the coupling ratio between them is unbounded.
+        nl = Netlist("v", default_library())
+        nl.add_primary_input("a")
+        nl.add_primary_input("b")
+        cg = CouplingGraph(nl)
+        cg.add("a", "b", 0.5)
+        assert "RPR205" in codes(run_lint(Design(netlist=nl, coupling=cg)))
+
+    def test_rpr206_missing_parasitics(self, design):
+        assert "RPR206" in codes(run_lint(design))
+
+    def test_rpr206_silent_when_annotated(self, design):
+        design.netlist.net("y").wire_cap = 1.0
+        assert "RPR206" not in codes(run_lint(design))
+
+
+class FakeSTA:
+    """Minimal TimingResult stand-in for driving timing rules directly."""
+
+    def __init__(self, slew=0.1, delay=1.0, eat=0.0, lat=1.0):
+        self._slew, self._delay = slew, delay
+        self._window = SimpleNamespace(eat=eat, lat=lat)
+
+    def slew_late(self, name):
+        return self._slew
+
+    def circuit_delay(self):
+        return self._delay
+
+    def window(self, name):
+        return self._window
+
+
+def timing_ctx(design, sta):
+    return LintContext(netlist=design.netlist, design=design, _sta=sta)
+
+
+class TestTimingRules:
+    def test_rpr301_nonpositive_slew(self, design):
+        findings = run_rule("RPR301", timing_ctx(design, FakeSTA(slew=0.0)))
+        assert findings and all(f.code == "RPR301" for f in findings)
+
+    def test_rpr301_infinite_slew(self, design):
+        assert run_rule("RPR301", timing_ctx(design, FakeSTA(slew=float("inf"))))
+
+    def test_rpr302_zero_circuit_delay(self, design):
+        assert run_rule("RPR302", timing_ctx(design, FakeSTA(delay=0.0)))
+
+    def test_rpr303_unconstrained_endpoint(self):
+        nl = Netlist("v", default_library())
+        nl.add_primary_input("a")
+        nl.add_primary_output("a")
+        nl.add_primary_input("b")
+        nl.add_gate("g1", "INV_X1", ["b"], "y")
+        nl.add_primary_output("y")
+        cg = CouplingGraph(nl)
+        found = [
+            f
+            for f in run_lint(Design(netlist=nl, coupling=cg)).findings
+            if f.code == "RPR303"
+        ]
+        assert [f.location for f in found] == ["net:a"]
+
+    def test_rpr304_excessive_slew(self, design):
+        assert run_rule("RPR304", timing_ctx(design, FakeSTA(slew=10.0, delay=1.0)))
+
+    def test_rpr305_window_inverted(self, design):
+        assert run_rule("RPR305", timing_ctx(design, FakeSTA(eat=1.0, lat=0.0)))
+
+    def test_timing_rules_silent_without_sta(self):
+        # Undriven net -> STA raises -> timing rules must stay quiet.
+        nl = clean_netlist()
+        nl.add_net("floating")
+        cg = CouplingGraph(nl)
+        report = run_lint(Design(netlist=nl, coupling=cg))
+        assert not any(f.category == "timing" for f in report.findings)
+
+    def test_generated_design_times_clean(self):
+        # (The one-gate fixture design is legitimately flagged by RPR304:
+        # its circuit delay is smaller than a single slew.)
+        report = run_lint(random_design("timed", n_gates=20, seed=0))
+        assert not any(f.category == "timing" for f in report.findings)
+
+
+class TestConfigRules:
+    def _design(self):
+        return random_design("cfg", n_gates=20, seed=0)
+
+    def test_rpr401_grid_undersampling(self):
+        report = run_lint(self._design(), analysis_config=TopKConfig(grid_points=8))
+        assert "RPR401" in codes(report)
+
+    def test_rpr402_k_exceeds_couplings(self):
+        report = run_lint(self._design(), analysis_config=TopKConfig(), k=10**6)
+        assert "RPR402" in codes(report)
+
+    def test_rpr403_beam_below_k(self):
+        cfg = TopKConfig(max_sets_per_cardinality=2)
+        report = run_lint(self._design(), analysis_config=cfg, k=5)
+        assert "RPR403" in codes(report)
+
+    def test_rpr403_silent_for_exact_mode(self):
+        cfg = TopKConfig(max_sets_per_cardinality=None)
+        report = run_lint(self._design(), analysis_config=cfg, k=5)
+        assert "RPR403" not in codes(report)
+
+    def test_rpr404_coarse_tolerance(self):
+        cfg = TopKConfig(noise=NoiseConfig(tolerance_ns=10.0))
+        report = run_lint(self._design(), analysis_config=cfg)
+        assert "RPR404" in codes(report)
+
+    def test_rpr405_oracle_disabled_is_info(self):
+        cfg = TopKConfig(evaluate_with_oracle=False)
+        found = [
+            f
+            for f in run_lint(self._design(), analysis_config=cfg).findings
+            if f.code == "RPR405"
+        ]
+        assert found and found[0].severity is Severity.INFO
+
+    def test_config_rules_inactive_without_config(self):
+        report = run_lint(self._design())
+        assert not any(f.category == "config" for f in report.findings)
+
+    def test_defaults_clean_on_generated_design(self):
+        report = run_lint(self._design(), analysis_config=TopKConfig(), k=3)
+        assert not any(f.severity is Severity.ERROR for f in report.findings)
