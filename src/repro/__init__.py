@@ -49,15 +49,29 @@ from .core.report import TopKResult
 from .core.signoff import minimum_fix_set
 from .core.topk_addition import top_k_addition_sweep
 from .core.topk_elimination import top_k_elimination_sweep
+from .runtime import (
+    BudgetExceededError,
+    CheckpointError,
+    DegradationReport,
+    ReproError,
+    RunBudget,
+    WaveformFaultError,
+)
 from .timing.constraints import Constraints
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisConfig",
+    "BudgetExceededError",
+    "CheckpointError",
     "Constraints",
+    "DegradationReport",
     "Design",
+    "ReproError",
+    "RunBudget",
     "TopKResult",
+    "WaveformFaultError",
     "__version__",
     "analyze",
     "circuit_delay",

@@ -17,6 +17,7 @@ from .core.report import TopKResult
 from .core.topk_addition import top_k_addition_set
 from .core.topk_elimination import top_k_elimination_set
 from .noise.analysis import NoiseConfig, analyze_noise
+from .runtime.budget import ON_BUDGET_MODES, RunBudget
 from .timing.sta import run_sta
 
 #: Public alias — the facade's configuration is the solver configuration.
@@ -32,6 +33,11 @@ def analyze(
     mode: str = ADDITION,
     config: Optional[AnalysisConfig] = None,
     lint: Union[None, bool, str] = None,
+    deadline_s: Optional[float] = None,
+    on_budget: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    max_candidates: Optional[int] = None,
+    convergence_retries: Optional[int] = None,
 ) -> TopKResult:
     """Compute the top-k aggressor set of either flavor.
 
@@ -40,6 +46,16 @@ def analyze(
     design, k, mode, config:
         As before — the design, the set-size budget, ``"addition"`` or
         ``"elimination"``, and the solver knobs.
+    deadline_s, on_budget, checkpoint_path, max_candidates, convergence_retries:
+        Resilience shortcuts (see ``docs/robustness.md``): each non-None
+        value is folded into the config's
+        :class:`~repro.runtime.budget.RunBudget`.  ``deadline_s`` bounds
+        the wall clock; ``on_budget`` picks ``"raise"`` or ``"degrade"``
+        (the default) when a cap is hit; ``checkpoint_path`` enables
+        snapshot/resume (an existing compatible snapshot is resumed
+        transparently); ``max_candidates`` caps the enumeration;
+        ``convergence_retries`` arms retry-with-escalating-damping for
+        the noise fixpoint.
     lint:
         Optional correctness tooling (see :mod:`repro.lint`):
 
@@ -69,6 +85,25 @@ def analyze(
         raise TopKError(
             f"lint must be one of {_LINT_MODES}, got {lint!r}"
         )
+    if on_budget is not None and on_budget not in ON_BUDGET_MODES:
+        raise TopKError(
+            f"on_budget must be one of {ON_BUDGET_MODES}, got {on_budget!r}"
+        )
+    overrides = {
+        key: value
+        for key, value in (
+            ("deadline_s", deadline_s),
+            ("on_budget", on_budget),
+            ("checkpoint_path", checkpoint_path),
+            ("max_candidates", max_candidates),
+            ("convergence_retries", convergence_retries),
+        )
+        if value is not None
+    }
+    if overrides:
+        base_cfg = config if config is not None else AnalysisConfig()
+        base_budget = base_cfg.budget if base_cfg.budget is not None else RunBudget()
+        config = replace(base_cfg, budget=replace(base_budget, **overrides))
     solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
     if lint in (None, False):
         return solver(design, k, config)

@@ -151,6 +151,51 @@ def build_parser() -> argparse.ArgumentParser:
             "minimum fix set clearing all noise-induced violations"
         ),
     )
+    budget = parser.add_argument_group(
+        "resilience", "execution budget and checkpointing (docs/robustness.md)"
+    )
+    budget.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the solve, in seconds",
+    )
+    budget.add_argument(
+        "--on-budget",
+        choices=("raise", "degrade"),
+        default=None,
+        help=(
+            "what to do when a budget cap is hit: fail with a structured "
+            "error, or return a flagged partial result (default degrade)"
+        ),
+    )
+    budget.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "periodically snapshot solver state to this JSON file; if the "
+            "file already exists and matches the run, resume from it"
+        ),
+    )
+    budget.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of candidate sets scored before degrading",
+    )
+    budget.add_argument(
+        "--convergence-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a non-converging noise fixpoint up to N times with "
+            "escalating damping before giving up"
+        ),
+    )
     return parser
 
 
@@ -168,9 +213,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.coupling_caps} coupling caps"
     )
     result = analyze(
-        design, k=args.k, mode=args.mode, config=config, lint=args.lint
+        design,
+        k=args.k,
+        mode=args.mode,
+        config=config,
+        lint=args.lint,
+        deadline_s=args.deadline,
+        on_budget=args.on_budget,
+        checkpoint_path=args.checkpoint,
+        max_candidates=args.max_candidates,
+        convergence_retries=args.convergence_retries,
     )
     print(result.summary())
+    if result.degraded and result.degradation is not None:
+        print(f"degraded: {result.degradation.summary()}")
     if result.lint_report is not None:
         print(f"lint: {result.lint_report.summary()}")
 

@@ -15,7 +15,14 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from ..circuit.design import Design
-from ..noise.analysis import NoiseConfig, analyze_noise, circuit_delay_with_couplings
+from ..noise.analysis import (
+    ConvergenceError,
+    NoiseConfig,
+    analyze_noise,
+    circuit_delay_with_couplings,
+)
+from ..runtime.budget import RunBudget, RuntimeMonitor
+from ..runtime.errors import BudgetExceededError
 from ..timing.graph import TimingGraph
 from .engine import ADDITION, ELIMINATION, TopKError
 
@@ -26,7 +33,9 @@ class BruteForceResult:
 
     ``timed_out`` indicates the search budget expired; ``best_couplings``
     and ``delay`` then describe the best subset found *so far* (which is
-    not guaranteed optimal).
+    not guaranteed optimal).  ``failed_evaluations`` counts subsets whose
+    per-subset noise analysis failed to converge and were skipped rather
+    than aborting the whole search.
     """
 
     mode: str
@@ -37,6 +46,7 @@ class BruteForceResult:
     total_subsets: int
     timed_out: bool
     runtime_s: float
+    failed_evaluations: int = 0
 
     @property
     def complete(self) -> bool:
@@ -59,6 +69,7 @@ def brute_force_top_k(
     mode: str = ADDITION,
     timeout_s: float = 1800.0,
     noise_config: Optional[NoiseConfig] = None,
+    budget: Optional[RunBudget] = None,
 ) -> BruteForceResult:
     """Exhaustively search for the top-k set of either flavor.
 
@@ -76,12 +87,25 @@ def brute_force_top_k(
         Wall-clock budget, matching the paper's 1800 s cap.
     noise_config:
         Configuration for the per-subset iterative analysis.
+    budget:
+        Optional :class:`~repro.runtime.budget.RunBudget`: its
+        ``deadline_s`` tightens ``timeout_s``, ``max_candidates`` caps
+        the number of evaluated subsets, and ``on_budget="raise"`` turns
+        budget exhaustion into a structured
+        :class:`~repro.runtime.errors.BudgetExceededError` instead of a
+        ``timed_out`` partial result.  The budget's convergence-retry
+        policy also makes non-converging subsets be *skipped* (counted
+        in ``failed_evaluations``) rather than aborting the search.
     """
     if mode not in (ADDITION, ELIMINATION):
         raise TopKError(f"unknown mode {mode!r}")
     if k < 0:
         raise TopKError(f"k must be >= 0, got {k}")
     cfg = noise_config if noise_config is not None else NoiseConfig()
+    monitor = RuntimeMonitor(budget)
+    if budget is not None and budget.deadline_s is not None:
+        timeout_s = min(timeout_s, budget.deadline_s)
+    max_evals = budget.max_candidates if budget is not None else None
     graph = TimingGraph.from_netlist(design.netlist)
     indices = sorted(design.coupling.all_indices())
     total = n_choose_k(len(indices), k)
@@ -112,22 +136,45 @@ def brute_force_top_k(
             runtime_s=time.perf_counter() - t0,
         )
 
+    failed = 0
     for combo in itertools.combinations(indices, min(k, len(indices))):
-        if time.perf_counter() - t0 > timeout_s:
+        subset = frozenset(combo)
+        site = f"bruteforce:{','.join(str(i) for i in combo)}"
+        over_time = (
+            time.perf_counter() - t0 > timeout_s
+            or monitor.deadline_exceeded(site)
+        )
+        over_count = max_evals is not None and evaluations >= max_evals
+        if over_time or over_count:
+            if budget is not None and budget.on_budget == "raise":
+                raise BudgetExceededError(
+                    "brute-force budget exceeded",
+                    reason="deadline" if over_time else "candidates",
+                    evaluations=evaluations,
+                    total_subsets=total,
+                    elapsed_s=round(time.perf_counter() - t0, 3),
+                    phase="bruteforce",
+                )
             timed_out = True
             break
-        subset = frozenset(combo)
-        if mode == ADDITION:
-            delay = circuit_delay_with_couplings(
-                design, subset, config=cfg, graph=graph
-            )
-            better = best_delay is None or delay > best_delay
-        else:
-            view = design.coupling.without(subset)
-            delay = analyze_noise(
-                design, coupling=view, config=cfg, graph=graph
-            ).circuit_delay()
-            better = best_delay is None or delay < best_delay
+        try:
+            if mode == ADDITION:
+                delay = circuit_delay_with_couplings(
+                    design, subset, config=cfg, graph=graph
+                )
+                better = best_delay is None or delay > best_delay
+            else:
+                view = design.coupling.without(subset)
+                delay = analyze_noise(
+                    design, coupling=view, config=cfg, graph=graph
+                ).circuit_delay()
+                better = best_delay is None or delay < best_delay
+        except ConvergenceError:
+            if budget is None:
+                raise  # legacy behavior: a strict noise config aborts
+            failed += 1
+            evaluations += 1
+            continue
         evaluations += 1
         if better:
             best_delay = delay
@@ -142,4 +189,5 @@ def brute_force_top_k(
         total_subsets=total,
         timed_out=timed_out,
         runtime_s=time.perf_counter() - t0,
+        failed_evaluations=failed,
     )

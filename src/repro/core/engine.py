@@ -35,17 +35,27 @@ selected set is finally re-scored by the exact iterative noise analysis
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.coupling import CouplingCap
 from ..circuit.design import Design
-from ..noise.analysis import NoiseConfig, analyze_noise
+from ..noise.analysis import NoiseConfig, analyze_noise, analyze_noise_resilient
 from ..noise.envelope import NoiseEnvelope, primary_envelope
 from ..noise.filters import windows_can_interact
 from ..noise.pulse import NoisePulse, pulse_for_coupling
+from ..runtime import checkpoint as _ckpt
+from ..runtime import faultinject
+from ..runtime.budget import RunBudget, RuntimeMonitor
+from ..runtime.degrade import DegradationReport, VictimDegradation
+from ..runtime.errors import (
+    BudgetExceededError,
+    ReproError,
+    WaveformFaultError,
+)
 from ..timing.delay_models import driver_arc
 from ..timing.graph import TimingGraph
 from ..timing.sta import TimingResult, run_sta
@@ -60,13 +70,29 @@ SINK = "__sink__"
 #: Shifts below this (ns) are treated as no shift at all.
 _TINY_NS = 1e-9
 
+#: Envelope samples below this are treated as zero by the sanity guard.
+_NEGATIVE_ENV_TOL = 1e-9
+
 ADDITION = "addition"
 ELIMINATION = "elimination"
 _MODES = (ADDITION, ELIMINATION)
 
 
-class TopKError(ValueError):
+class TopKError(ReproError, ValueError):
     """Raised for invalid solver invocations."""
+
+
+class _HaltSolve(Exception):
+    """Internal control-flow signal: stop sweeping, finalize partial.
+
+    Never escapes :meth:`TopKEngine.solve`; carries the ladder context.
+    """
+
+    def __init__(self, reason: str, net: str, cardinality: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.net = net
+        self.cardinality = cardinality
 
 
 @dataclass(frozen=True)
@@ -100,6 +126,12 @@ class TopKConfig:
         envelope-encapsulation preconditions on the sets the engine
         actually discarded.  Off by default (the log holds envelope
         references for every pruned candidate).
+    budget:
+        Optional :class:`~repro.runtime.budget.RunBudget` wrapping the
+        solve in the resilience envelope: deadline / candidate / memory
+        caps with a degradation ladder, checkpoint/resume, and
+        convergence retries.  ``None`` keeps the legacy open-ended exact
+        behavior.  See ``docs/robustness.md``.
     """
 
     grid_points: int = 256
@@ -112,6 +144,7 @@ class TopKConfig:
     oracle_rescore_top: int = 1
     horizon_margin: float = 2.0
     audit_dominance: bool = False
+    budget: Optional[RunBudget] = None
 
     def __post_init__(self) -> None:
         if self.grid_points < 8:
@@ -143,6 +176,14 @@ class SolveStats:
             pseudo_atoms=self.pseudo_atoms + other.pseudo_atoms,
             higher_order_atoms=self.higher_order_atoms + other.higher_order_atoms,
         )
+
+    def to_json(self) -> Dict[str, int]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, int]) -> "SolveStats":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -201,7 +242,12 @@ class PruneRecord:
 
 @dataclass
 class EngineSolution:
-    """Raw solver output (before oracle evaluation)."""
+    """Raw solver output (before oracle evaluation).
+
+    ``degraded`` marks a solution produced under budget pressure (beam
+    narrowed and/or sweep halted early); ``degradation`` carries the
+    ladder's per-victim provenance.
+    """
 
     mode: str
     k: int
@@ -211,6 +257,8 @@ class EngineSolution:
     stats: SolveStats
     nominal_delay: float
     all_aggressor_delay: Optional[float]
+    degraded: bool = False
+    degradation: Optional[DegradationReport] = None
 
     def estimated_delay(self, cardinality: Optional[int] = None) -> Optional[float]:
         """Solver-side circuit-delay estimate for the chosen set."""
@@ -243,9 +291,25 @@ class TopKEngine:
         self.graph = TimingGraph.from_netlist(self.netlist)
         self.nominal = run_sta(self.netlist, self.graph)
         self.horizon = self.nominal.horizon(self.config.horizon_margin)
+        budget = self.config.budget
+        self.monitor = RuntimeMonitor(budget)
+        self.degradation: Optional[DegradationReport] = None
+        self._rung = 0
+        self._beam_cap = self.config.max_sets_per_cardinality
         self.all_aggressor_delay: Optional[float] = None
         if mode == ELIMINATION:
-            noisy = analyze_noise(design, config=self.config.noise, graph=self.graph)
+            retries = budget.convergence_retries if budget is not None else 0
+            monitor = self.monitor if budget is not None else None
+            if retries > 0:
+                noisy = analyze_noise_resilient(
+                    design, config=self.config.noise, graph=self.graph,
+                    monitor=monitor, retries=retries,
+                )
+            else:
+                noisy = analyze_noise(
+                    design, config=self.config.noise, graph=self.graph,
+                    monitor=monitor,
+                )
             self.window_timing: TimingResult = noisy.timing
             self.all_aggressor_delay = noisy.circuit_delay()
         else:
@@ -254,7 +318,14 @@ class TopKEngine:
         self.stats = SolveStats()
         self.prune_log: List[PruneRecord] = []
         self._solved_upto = 0
+        self.resumed_from: Optional[str] = None
         self._build_contexts()
+        if (
+            budget is not None
+            and budget.checkpoint_path is not None
+            and os.path.exists(budget.checkpoint_path)
+        ):
+            self._restore_checkpoint(budget.checkpoint_path)
 
     # ------------------------------------------------------------------
     # context construction
@@ -297,8 +368,13 @@ class TopKEngine:
                 inputs=inputs,
             )
             for info in infos:
-                info.sampled = _sample_primary(
-                    grid.times, info.pulse, info.window
+                info.sampled = self._guarded_sample(
+                    grid.times,
+                    info.pulse,
+                    info.window,
+                    net=net,
+                    coupling=info.coupling.index,
+                    phase="build",
                 )
                 ctx.primary_info.append(info)
                 ctx.primaries.append(
@@ -426,6 +502,211 @@ class TopKEngine:
         )
 
     # ------------------------------------------------------------------
+    # resilience runtime (budget enforcement, degradation, checkpoints)
+    # ------------------------------------------------------------------
+    def _guarded_sample(
+        self,
+        times: np.ndarray,
+        pulse: NoisePulse,
+        window: TimingWindow,
+        widen: float = 0.0,
+        *,
+        net: str,
+        coupling: int,
+        phase: str,
+    ) -> np.ndarray:
+        """Sample a primary envelope with the fault/NaN guard applied.
+
+        The fault injector (when active) gets a chance to corrupt the
+        fresh sample; any non-finite or impossible (negative) sample —
+        injected or organic — raises a contextful
+        :class:`~repro.runtime.errors.WaveformFaultError` at the
+        offending net instead of silently reaching t50 scoring.
+        """
+        arr = _sample_primary(times, pulse, window, widen=widen)
+        if faultinject._ACTIVE is not None:
+            faultinject._ACTIVE.corrupt_waveform(arr, f"{net}:c{coupling}")
+        if not np.isfinite(arr).all() or float(arr.min()) < -_NEGATIVE_ENV_TOL:
+            raise WaveformFaultError(
+                "non-finite or negative waveform sample",
+                net=net,
+                coupling=coupling,
+                phase=phase,
+            )
+        return arr
+
+    def _tick(self, net: str, cardinality: int, phase: str) -> None:
+        """Cooperative cancellation checkpoint (budget + injected faults)."""
+        budget = self.config.budget
+        if budget is None and faultinject._ACTIVE is None:
+            return
+        site = f"{net}@k{cardinality}"
+        policy = self.monitor.budget.on_budget
+        if self.monitor.deadline_exceeded(site):
+            if policy == "raise":
+                raise BudgetExceededError(
+                    "wall-clock deadline exceeded",
+                    reason="deadline",
+                    net=net,
+                    cardinality=cardinality,
+                    elapsed_s=round(self.monitor.elapsed(), 3),
+                    deadline_s=self.monitor.budget.deadline_s,
+                    phase=phase,
+                )
+            raise _HaltSolve("deadline", net, cardinality)
+        if budget is None:
+            return
+        reason = self.monitor.soft_exceeded(self.stats.candidates, self._rung)
+        if reason is None:
+            return
+        if policy == "raise":
+            raise BudgetExceededError(
+                f"{reason} budget exceeded",
+                reason=reason,
+                net=net,
+                cardinality=cardinality,
+                candidates=self.stats.candidates,
+                frontier_mb=round(self.monitor.frontier_mb, 3),
+                elapsed_s=round(self.monitor.elapsed(), 3),
+                phase=phase,
+            )
+        if self._rung == 0:
+            self._narrow_beam(reason, cardinality)
+        else:
+            raise _HaltSolve(reason, net, cardinality)
+
+    def _narrow_beam(self, reason: str, cardinality: int) -> None:
+        """Degradation rung 1: shrink the beam, record what it drops.
+
+        Every existing irredundant list is truncated to the degraded
+        width; the best dropped score per victim list is recorded as the
+        optimality gap those drops can imply.  Sweeping then continues
+        under the narrowed beam.
+        """
+        width = self.monitor.budget.degraded_beam_width
+        self._rung = 1
+        self._beam_cap = (
+            width if self._beam_cap is None else min(self._beam_cap, width)
+        )
+        victims: List[VictimDegradation] = []
+        for ctx in self.contexts.values():
+            for card in sorted(ctx.ilists):
+                ilist = ctx.ilists[card]
+                if len(ilist) > width:
+                    dropped = ilist[width:]
+                    ctx.ilists[card] = ilist[:width]
+                    # Lists are kept best-score-first, so the first
+                    # dropped candidate bounds all of them.
+                    victims.append(
+                        VictimDegradation(
+                            net=ctx.net,
+                            cardinality=card,
+                            dropped=len(dropped),
+                            best_dropped_score=dropped[0].score,
+                        )
+                    )
+        self.degradation = DegradationReport(
+            reason=reason,
+            rung=1,
+            completed_k=self._solved_upto,
+            requested_k=max(cardinality, self._solved_upto),
+            beam_width=self._beam_cap,
+            elapsed_s=self.monitor.elapsed(),
+            victims=victims,
+        )
+
+    def _finalize_halt(self, halt: _HaltSolve, k: int) -> None:
+        """Degradation rung 2: stop sweeping, keep completed cardinalities."""
+        prior = self.degradation
+        self.degradation = DegradationReport(
+            reason=halt.reason,
+            rung=2,
+            completed_k=self._solved_upto,
+            requested_k=k,
+            beam_width=prior.beam_width if prior is not None else None,
+            elapsed_s=self.monitor.elapsed(),
+            victims=prior.victims if prior is not None else [],
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        budget = self.config.budget
+        if budget is None or budget.checkpoint_path is None:
+            return
+        if self.monitor.should_checkpoint():
+            self._write_checkpoint(budget.checkpoint_path)
+
+    def _write_checkpoint(self, path: str) -> None:
+        """Snapshot the frontier at the current cardinality boundary."""
+        nets: Dict[str, Dict] = {}
+        for net, ctx in self.contexts.items():
+            nets[net] = {
+                "atoms1_extra": [
+                    _ckpt.envelope_set_to_json(a)
+                    for a in ctx.atoms1
+                    if not a.label.startswith("primary:")
+                ],
+                "ilists": {
+                    str(card): [_ckpt.envelope_set_to_json(s) for s in lst]
+                    for card, lst in ctx.ilists.items()
+                    if card <= self._solved_upto
+                },
+            }
+        _ckpt.save_checkpoint(
+            path,
+            {
+                "version": _ckpt.CHECKPOINT_VERSION,
+                "fingerprint": _ckpt.design_fingerprint(
+                    self.design, self.mode, self.config
+                ),
+                "solved_upto": self._solved_upto,
+                "stats": self.stats.to_json(),
+                "frontier_bytes": self.monitor.frontier_bytes,
+                "nets": nets,
+            },
+        )
+
+    def _restore_checkpoint(self, path: str) -> None:
+        """Adopt a snapshot's frontier (resume an interrupted run)."""
+        from ..runtime.errors import CheckpointError
+
+        payload = _ckpt.load_checkpoint(path)
+        expected = _ckpt.design_fingerprint(self.design, self.mode, self.config)
+        _ckpt.check_fingerprint(expected, payload["fingerprint"], path)
+        nets = payload["nets"]
+        for net, ctx in self.contexts.items():
+            entry = nets.get(net)
+            if entry is None:
+                raise CheckpointError(
+                    "checkpoint is missing a victim context",
+                    net=net,
+                    path=path,
+                    phase="checkpoint-load",
+                )
+            ctx.atoms1 = list(ctx.primaries) + [
+                _ckpt.envelope_set_from_json(a)
+                for a in entry.get("atoms1_extra", [])
+            ]
+            ctx.ilists = {
+                int(card): [
+                    _ckpt.envelope_set_from_json(s) for s in lst
+                ]
+                for card, lst in entry.get("ilists", {}).items()
+            }
+            for lst in ctx.ilists.values():
+                for es in lst:
+                    if es.env.shape[0] != ctx.grid.n:
+                        raise CheckpointError(
+                            "checkpointed envelope does not fit this grid",
+                            net=net,
+                            path=path,
+                            phase="checkpoint-load",
+                        )
+        self.stats = SolveStats.from_json(payload["stats"])
+        self.monitor.frontier_bytes = int(payload.get("frontier_bytes", 0))
+        self._solved_upto = int(payload["solved_upto"])
+        self.resumed_from = path
+
+    # ------------------------------------------------------------------
     # sweeps
     # ------------------------------------------------------------------
     def solve(self, k: int) -> EngineSolution:
@@ -433,17 +714,37 @@ class TopKEngine:
 
         Incremental: a second call with a larger ``k`` continues from the
         cached sweeps (this is how k-sweeps avoid re-solving).
+
+        Under a :class:`~repro.runtime.budget.RunBudget` the sweeps are
+        cooperatively cancellable: exhausting a cap either raises a
+        structured :class:`~repro.runtime.errors.BudgetExceededError`
+        (``on_budget="raise"``) or walks the degradation ladder and
+        returns a partial solution flagged ``degraded=True``.  Snapshots
+        are written at cardinality boundaries when
+        ``budget.checkpoint_path`` is set — *before* any degradation
+        touches the frontier, so a resumed run continues the exact run.
         """
         if k < 0:
             raise TopKError(f"k must be >= 0, got {k}")
         order = list(self.graph.topo_order) + [SINK]
-        for i in range(self._solved_upto + 1, k + 1):
-            for net in order:
-                self._sweep(self.contexts[net], i)
-        self._solved_upto = max(self._solved_upto, k)
+        try:
+            for i in range(self._solved_upto + 1, k + 1):
+                for net in order:
+                    self._sweep(self.contexts[net], i)
+                self._solved_upto = i
+                self._maybe_checkpoint()
+        except _HaltSolve as halt:
+            self._finalize_halt(halt, k)
         return self._solution(k)
 
     def _solution(self, k: int) -> EngineSolution:
+        if self.degradation is not None and self.degradation.rung == 1:
+            # The narrowed sweep ran to completion; refresh the report's
+            # progress fields (set when the ladder was climbed mid-solve).
+            self.degradation.completed_k = self._solved_upto
+            self.degradation.requested_k = max(
+                self.degradation.requested_k, k
+            )
         sink = self.contexts[SINK]
         best_per_card: Dict[int, EnvelopeSet] = {}
         finalists: List[EnvelopeSet] = []
@@ -463,6 +764,8 @@ class TopKEngine:
             stats=self.stats,
             nominal_delay=self.nominal.circuit_delay(),
             all_aggressor_delay=self.all_aggressor_delay,
+            degraded=self.degradation is not None,
+            degradation=self.degradation,
         )
 
     def _rank_key(self, cand: EnvelopeSet):
@@ -485,6 +788,7 @@ class TopKEngine:
         return min(candidates, key=self._rank_key)
 
     def _sweep(self, ctx: _VictimContext, i: int) -> None:
+        self._tick(ctx.net, i, phase="sweep")
         cfg = self.config
         direct: List[EnvelopeSet] = []
         if cfg.use_pseudo:
@@ -522,14 +826,28 @@ class TopKEngine:
             ctx.interval,
             ctx.grid,
             maximize=self.mode == ADDITION,
-            max_sets=cfg.max_sets_per_cardinality,
+            max_sets=self._beam_cap,
             recorder=recorder,
         )
         self.stats.dominated += dominated
         ctx.ilists[i] = kept
+        self.monitor.note_frontier(len(kept) * ctx.grid.n * 8)
 
     def _score(self, ctx: _VictimContext, candidates: List[EnvelopeSet]) -> None:
+        self._tick(ctx.net, candidates[0].cardinality, phase="score")
         matrix = np.stack([c.env for c in candidates])
+        row_bad = ~np.isfinite(matrix).all(axis=1)
+        if not row_bad.any():
+            row_bad = matrix.min(axis=1) < -_NEGATIVE_ENV_TOL
+        if row_bad.any():
+            bad = candidates[int(np.argmax(row_bad))]
+            raise WaveformFaultError(
+                "corrupted candidate envelope reached the scoring kernel",
+                net=ctx.net,
+                candidate=sorted(bad.couplings),
+                label=bad.label or None,
+                phase="score",
+            )
         if self.mode == ADDITION:
             scores = batch_delay_noise(ctx.t50, ctx.slew, matrix, ctx.grid)
         else:
@@ -617,8 +935,14 @@ class TopKEngine:
             key = (info.coupling.index, round(widen, 9))
             wide = ctx.ho_cache.get(key)
             if wide is None:
-                wide = _sample_primary(
-                    ctx.grid.times, info.pulse, info.window, widen=widen
+                wide = self._guarded_sample(
+                    ctx.grid.times,
+                    info.pulse,
+                    info.window,
+                    widen=widen,
+                    net=ctx.net,
+                    coupling=info.coupling.index,
+                    phase="higher-order",
                 )
                 ctx.ho_cache[key] = wide
             return EnvelopeSet(
@@ -638,11 +962,14 @@ class TopKEngine:
         key = (info.coupling.index, round(narrow_lat, 9))
         narrow = ctx.ho_cache.get(key)
         if narrow is None:
-            narrow = _sample_primary(
+            narrow = self._guarded_sample(
                 ctx.grid.times,
                 info.pulse,
                 info.window,
                 widen=narrow_lat - info.window.lat,
+                net=ctx.net,
+                coupling=info.coupling.index,
+                phase="higher-order",
             )
             ctx.ho_cache[key] = narrow
         diff = np.clip(info.sampled - narrow, 0.0, None)

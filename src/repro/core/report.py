@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple
 
 from ..circuit.design import Design
+from ..runtime.degrade import DegradationReport
 from .engine import SolveStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +61,12 @@ class TopKResult:
     lint_report:
         Findings of the lint preflight / dominance audit when the query
         ran with ``analyze(..., lint=...)``; ``None`` otherwise.
+    degraded:
+        True when the solve ran out of budget and the answer is partial
+        and/or beam-narrowed (see ``docs/robustness.md``).
+    degradation:
+        The degradation ladder's record (reason, rung, completed
+        cardinality, per-victim drop provenance) when ``degraded``.
     """
 
     mode: str
@@ -73,6 +80,8 @@ class TopKResult:
     runtime_s: float
     stats: SolveStats = field(default_factory=SolveStats)
     lint_report: Optional["LintReport"] = None
+    degraded: bool = False
+    degradation: Optional[DegradationReport] = None
 
     @property
     def effective_k(self) -> int:
@@ -97,6 +106,16 @@ class TopKResult:
             f"({self.effective_k} couplings, {self.runtime_s:.2f} s)",
             f"  nominal delay        : {self.nominal_delay:.4f} ns",
         ]
+        if self.degraded and self.degradation is not None:
+            lines.append(
+                f"  DEGRADED ({self.degradation.reason}, rung "
+                f"{self.degradation.rung}): completed "
+                f"k={self.degradation.completed_k} of "
+                f"{self.degradation.requested_k}, gap <= "
+                f"{self.degradation.optimality_gap():.4f} ns"
+            )
+        elif self.degraded:
+            lines.append("  DEGRADED: partial result (budget exhausted)")
         if self.all_aggressor_delay is not None:
             lines.append(
                 f"  all-aggressor delay  : {self.all_aggressor_delay:.4f} ns"

@@ -79,12 +79,20 @@ def _result_from_solution(
 ) -> TopKResult:
     chosen = solution.best.couplings if solution.best else frozenset()
     delay: Optional[float] = None
+    budget = engine.config.budget
+    retries = budget.convergence_retries if budget is not None else 0
+    monitor = engine.monitor if budget is not None else None
     if engine.config.evaluate_with_oracle:
         if chosen:
             # Optionally let the exact analysis arbitrate among the best
             # finalists — closes sub-threshold ranking ties the one-shot
             # superposition score cannot distinguish.
             pool = solution.finalists[: engine.config.oracle_rescore_top]
+            if solution.degraded and solution.degradation is not None and (
+                solution.degradation.reason == "deadline"
+            ):
+                # Past the deadline, bound the tail: one oracle call only.
+                pool = pool[:1]
             best_delay: Optional[float] = None
             for cand in pool or [solution.best]:
                 d = circuit_delay_with_couplings(
@@ -92,6 +100,8 @@ def _result_from_solution(
                     cand.couplings,
                     config=engine.config.noise,
                     graph=engine.graph,
+                    monitor=monitor,
+                    retries=retries,
                 )
                 if best_delay is None or d > best_delay:
                     best_delay = d
@@ -110,4 +120,6 @@ def _result_from_solution(
         all_aggressor_delay=solution.all_aggressor_delay,
         runtime_s=runtime,
         stats=engine.stats,
+        degraded=solution.degraded,
+        degradation=solution.degradation,
     )

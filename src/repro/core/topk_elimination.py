@@ -12,7 +12,7 @@ import time
 from typing import Iterable, List, Optional
 
 from ..circuit.design import Design
-from ..noise.analysis import analyze_noise
+from ..noise.analysis import analyze_noise, analyze_noise_resilient
 from .engine import ELIMINATION, EngineSolution, TopKConfig, TopKEngine
 from .report import SweepPoint, TopKResult, coupling_details
 
@@ -76,16 +76,31 @@ def _result_from_solution(
 ) -> TopKResult:
     chosen = solution.best.couplings if solution.best else frozenset()
     delay: Optional[float] = None
+    budget = engine.config.budget
+    retries = budget.convergence_retries if budget is not None else 0
+    monitor = engine.monitor if budget is not None else None
     if engine.config.evaluate_with_oracle:
         pool = solution.finalists[: engine.config.oracle_rescore_top]
+        if solution.degraded and solution.degradation is not None and (
+            solution.degradation.reason == "deadline"
+        ):
+            # Past the deadline, bound the tail: one oracle call only.
+            pool = pool[:1]
         best_delay: Optional[float] = None
         for cand in pool or [None]:
             couplings = cand.couplings if cand is not None else frozenset()
             view = design.coupling.without(frozenset(couplings))
-            d = analyze_noise(
-                design, coupling=view, config=engine.config.noise,
-                graph=engine.graph,
-            ).circuit_delay()
+            if retries > 0:
+                noisy = analyze_noise_resilient(
+                    design, coupling=view, config=engine.config.noise,
+                    graph=engine.graph, monitor=monitor, retries=retries,
+                )
+            else:
+                noisy = analyze_noise(
+                    design, coupling=view, config=engine.config.noise,
+                    graph=engine.graph, monitor=monitor,
+                )
+            d = noisy.circuit_delay()
             if best_delay is None or d < best_delay:
                 best_delay = d
                 chosen = couplings
@@ -101,4 +116,6 @@ def _result_from_solution(
         all_aggressor_delay=solution.all_aggressor_delay,
         runtime_s=runtime,
         stats=engine.stats,
+        degraded=solution.degraded,
+        degradation=solution.degradation,
     )

@@ -21,12 +21,15 @@ couplings exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 
 from ..circuit.coupling import CouplingGraph, CouplingView
 from ..circuit.design import Design
 from ..circuit.netlist import Netlist
+from ..runtime import faultinject
+from ..runtime.budget import RuntimeMonitor
+from ..runtime.errors import ReproError
 from ..timing.graph import TimingGraph
 from ..timing.sta import TimingResult, run_sta
 from ..timing.windows import TimingWindow, infinite_window
@@ -35,9 +38,50 @@ from .filters import LogicalExclusions, filter_envelopes, windows_can_interact
 from .pulse import pulse_for_coupling
 from .superposition import delay_noise
 
+#: Damping escalation schedule used by :func:`analyze_noise_resilient`
+#: (attempt 0 uses the configured damping, attempt n the n-th entry).
+RETRY_DAMPING_SCHEDULE = (0.35, 0.6, 0.8)
 
-class ConvergenceError(RuntimeError):
-    """Raised when the fixpoint iteration exceeds its budget."""
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when the fixpoint iteration exceeds its budget.
+
+    Carries enough state to diagnose or salvage the run instead of
+    losing everything:
+
+    Attributes
+    ----------
+    history:
+        Per-iteration maximum delay-noise change (ns), oldest first.
+    last_delay_noise:
+        The last stable per-net delay-noise map — a usable (if
+        unconverged) iterate.
+    iterations:
+        Iterations actually performed.
+    tolerance_ns:
+        The convergence threshold that was not met.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        history: Optional[Sequence[float]] = None,
+        last_delay_noise: Optional[Dict[str, float]] = None,
+        iterations: int = 0,
+        tolerance_ns: float = 0.0,
+        **context,
+    ) -> None:
+        super().__init__(
+            message,
+            iterations=iterations,
+            tolerance_ns=tolerance_ns,
+            **context,
+        )
+        self.history: List[float] = list(history or [])
+        self.last_delay_noise: Dict[str, float] = dict(last_delay_noise or {})
+        self.iterations = iterations
+        self.tolerance_ns = tolerance_ns
 
 
 @dataclass(frozen=True)
@@ -60,6 +104,12 @@ class NoiseConfig:
     strict:
         Raise :class:`ConvergenceError` if the budget is exhausted
         (otherwise return the last iterate flagged unconverged).
+    damping:
+        Under-relaxation factor in [0, 1): each iteration's delay-noise
+        map is blended as ``(1 - damping) * new + damping * old``.
+        Zero (the default) is the plain fixpoint; higher values trade
+        iterations for stability on oscillating instances — the knob
+        the retry ladder (:func:`analyze_noise_resilient`) escalates.
     """
 
     max_iterations: int = 12
@@ -69,23 +119,35 @@ class NoiseConfig:
     window_filter: bool = True
     strict: bool = False
     exclusions: Optional[LogicalExclusions] = None
+    damping: float = 0.0
 
     def __post_init__(self) -> None:
         if self.start not in ("optimistic", "pessimistic"):
             raise ValueError(f"unknown start mode {self.start!r}")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if not 0.0 <= self.damping < 1.0:
+            raise ValueError(f"damping must be in [0, 1), got {self.damping}")
 
 
 @dataclass
 class NoiseResult:
-    """Outcome of the iterative analysis."""
+    """Outcome of the iterative analysis.
+
+    ``delta_history`` is the per-iteration maximum delay-noise change
+    (the fixpoint's convergence trace); ``retries`` and ``damping_used``
+    are filled by :func:`analyze_noise_resilient` when the retry ladder
+    was involved.
+    """
 
     timing: TimingResult
     nominal: TimingResult
     delay_noise: Dict[str, float] = field(default_factory=dict)
     iterations: int = 0
     converged: bool = False
+    delta_history: List[float] = field(default_factory=list)
+    retries: int = 0
+    damping_used: float = 0.0
 
     def circuit_delay(self) -> float:
         """Circuit delay including delay noise (ns)."""
@@ -144,6 +206,7 @@ def analyze_noise(
     coupling: Optional[Union[CouplingGraph, CouplingView]] = None,
     config: NoiseConfig = NoiseConfig(),
     graph: Optional[TimingGraph] = None,
+    monitor: Optional[RuntimeMonitor] = None,
 ) -> NoiseResult:
     """Run the iterative delay-noise analysis to its fixpoint.
 
@@ -158,6 +221,12 @@ def analyze_noise(
         Iteration parameters.
     graph:
         Pre-built timing graph to reuse across repeated runs.
+    monitor:
+        Optional :class:`~repro.runtime.budget.RuntimeMonitor` checked at
+        each iteration (a cooperative cancellation checkpoint): past the
+        deadline the loop stops with the last iterate (degrade policy) or
+        raises :class:`~repro.runtime.errors.BudgetExceededError` (raise
+        policy).
     """
     netlist = design.netlist
     if coupling is None:
@@ -170,7 +239,11 @@ def analyze_noise(
     extra: Dict[str, float] = {}
     converged = False
     iterations = 0
+    history: List[float] = []
+    site = f"noise:{netlist.name}"
     for iteration in range(config.max_iterations):
+        if monitor is not None and monitor.exhausted_noise(site):
+            break
         iterations = iteration + 1
         timing = run_sta(netlist, graph, extra_delay=extra)
         pessimistic_seed = config.start == "pessimistic" and iteration == 0
@@ -197,7 +270,14 @@ def analyze_noise(
             )
             if dn > 0.0:
                 new_extra[victim] = dn
+        if config.damping > 0.0 and not pessimistic_seed:
+            new_extra = _blend(extra, new_extra, config.damping)
         delta = _max_change(extra, new_extra)
+        if faultinject._ACTIVE is not None and faultinject._ACTIVE.fires(
+            "no_convergence", site
+        ):
+            delta = max(delta, 10.0 * config.tolerance_ns, 1e-9)
+        history.append(delta)
         extra = new_extra
         if delta <= config.tolerance_ns and iteration > 0:
             converged = True
@@ -205,7 +285,15 @@ def analyze_noise(
     if not converged and config.strict:
         raise ConvergenceError(
             f"noise analysis did not converge in {config.max_iterations} "
-            f"iterations (last delta unknown <= budget exhausted)"
+            f"iterations (last delta "
+            f"{history[-1] if history else float('nan'):.3e} ns > "
+            f"tolerance {config.tolerance_ns:.3e} ns)",
+            history=history,
+            last_delay_noise=extra,
+            iterations=iterations,
+            tolerance_ns=config.tolerance_ns,
+            net=netlist.name,
+            phase="noise",
         )
     final_timing = run_sta(netlist, graph, extra_delay=extra)
     return NoiseResult(
@@ -214,7 +302,78 @@ def analyze_noise(
         delay_noise=extra,
         iterations=iterations,
         converged=converged,
+        delta_history=history,
+        damping_used=config.damping,
     )
+
+
+def analyze_noise_resilient(
+    design: Design,
+    coupling: Optional[Union[CouplingGraph, CouplingView]] = None,
+    config: NoiseConfig = NoiseConfig(),
+    graph: Optional[TimingGraph] = None,
+    monitor: Optional[RuntimeMonitor] = None,
+    retries: int = 2,
+) -> NoiseResult:
+    """:func:`analyze_noise` with retry-with-escalating-damping.
+
+    When the fixpoint fails to converge, the analysis is retried with
+    progressively stronger under-relaxation (the
+    :data:`RETRY_DAMPING_SCHEDULE`), bounded by ``retries``.  The first
+    converged attempt is returned with ``retries``/``damping_used``
+    recording what it took.  If every attempt fails:
+
+    * ``config.strict`` — raise :class:`ConvergenceError` whose message
+      and ``history`` cover the *final* attempt (the per-attempt
+      iteration traces are attached as ``error.attempts``);
+    * otherwise — return the last attempt's unconverged iterate.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    dampings = [config.damping]
+    for d in RETRY_DAMPING_SCHEDULE[:retries]:
+        dampings.append(max(d, config.damping))
+    attempts: List[List[float]] = []
+    result: Optional[NoiseResult] = None
+    for attempt, damping in enumerate(dampings):
+        cfg = replace(config, damping=damping, strict=False)
+        result = analyze_noise(
+            design, coupling=coupling, config=cfg, graph=graph, monitor=monitor
+        )
+        attempts.append(list(result.delta_history))
+        if result.converged:
+            result.retries = attempt
+            return result
+        if monitor is not None and monitor.deadline_exceeded():
+            break  # no budget left to keep retrying
+    assert result is not None
+    if config.strict:
+        error = ConvergenceError(
+            f"noise analysis did not converge after {len(attempts)} "
+            f"attempt(s) with damping up to {dampings[len(attempts) - 1]}",
+            history=attempts[-1],
+            last_delay_noise=result.delay_noise,
+            iterations=result.iterations,
+            tolerance_ns=config.tolerance_ns,
+            net=design.netlist.name,
+            phase="noise",
+        )
+        error.attempts = attempts
+        raise error
+    result.retries = len(attempts) - 1
+    return result
+
+
+def _blend(
+    old: Dict[str, float], new: Dict[str, float], damping: float
+) -> Dict[str, float]:
+    """Under-relaxed update: ``(1 - damping) * new + damping * old``."""
+    blended: Dict[str, float] = {}
+    for key in set(old) | set(new):
+        value = (1.0 - damping) * new.get(key, 0.0) + damping * old.get(key, 0.0)
+        if value > 0.0:
+            blended[key] = value
+    return blended
 
 
 def circuit_delay_with_couplings(
@@ -222,15 +381,27 @@ def circuit_delay_with_couplings(
     active: FrozenSet[int],
     config: NoiseConfig = NoiseConfig(),
     graph: Optional[TimingGraph] = None,
+    monitor: Optional[RuntimeMonitor] = None,
+    retries: int = 0,
 ) -> float:
     """Circuit delay when exactly the couplings in ``active`` exist.
 
     The evaluation oracle for both top-k flavors: the addition set is
     scored by this delay directly; the elimination set by the delay with
-    ``all_indices - fixed`` active.
+    ``all_indices - fixed`` active.  ``monitor``/``retries`` opt into the
+    resilient runtime (deadline checks and convergence retries).
     """
     view = design.coupling.restricted(frozenset(active))
-    return analyze_noise(design, coupling=view, config=config, graph=graph).circuit_delay()
+    if retries > 0:
+        result = analyze_noise_resilient(
+            design, coupling=view, config=config, graph=graph,
+            monitor=monitor, retries=retries,
+        )
+    else:
+        result = analyze_noise(
+            design, coupling=view, config=config, graph=graph, monitor=monitor
+        )
+    return result.circuit_delay()
 
 
 def _max_change(old: Dict[str, float], new: Dict[str, float]) -> float:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..circuit.cells import RC_TO_NS
 from ..circuit.coupling import CouplingCap
 from ..circuit.netlist import Netlist
+from ..runtime.errors import WaveformFaultError
 from ..timing.waveform import Waveform, triangle
 
 #: The pulse tail is truncated after this many time constants.
@@ -103,6 +104,17 @@ def pulse_parameters(
     aggressor_slew:
         Aggressor 0-100% transition time, ns.
     """
+    for name, value in (
+        ("victim_holding_res", victim_holding_res),
+        ("victim_ground_cap", victim_ground_cap),
+        ("coupling_cap", coupling_cap),
+        ("aggressor_slew", aggressor_slew),
+    ):
+        if not math.isfinite(value):
+            raise WaveformFaultError(
+                f"non-finite pulse parameter {name}={value}",
+                phase="pulse",
+            )
     if victim_holding_res < 0 or victim_ground_cap < 0:
         raise PulseError("victim RC must be >= 0")
     if coupling_cap <= 0:
@@ -135,9 +147,19 @@ def pulse_for_coupling(
         raise PulseError(
             f"coupling {coupling.index} does not touch victim {victim!r}"
         )
-    return pulse_parameters(
-        victim_holding_res=netlist.holding_resistance(victim),
-        victim_ground_cap=netlist.load_cap(victim),
-        coupling_cap=coupling.cap,
-        aggressor_slew=aggressor_slew,
-    )
+    try:
+        return pulse_parameters(
+            victim_holding_res=netlist.holding_resistance(victim),
+            victim_ground_cap=netlist.load_cap(victim),
+            coupling_cap=coupling.cap,
+            aggressor_slew=aggressor_slew,
+        )
+    except WaveformFaultError as exc:
+        # Re-attach the circuit location the closed form cannot know.
+        raise WaveformFaultError(
+            exc.message,
+            net=victim,
+            coupling=coupling.index,
+            aggressor=coupling.other(victim),
+            phase="pulse",
+        ) from exc

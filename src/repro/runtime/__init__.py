@@ -1,0 +1,57 @@
+"""repro.runtime — the resilient execution runtime.
+
+Production runs must end in bounded time with a well-formed (possibly
+partial) answer, not in an open-ended exact solve or an opaque crash.
+This package supplies the pieces the solver stack is wired through:
+
+* :mod:`~repro.runtime.errors` — the structured :class:`ReproError`
+  taxonomy every solver failure descends from;
+* :mod:`~repro.runtime.budget` — :class:`RunBudget` caps and the
+  :class:`RuntimeMonitor` consulted at cooperative cancellation
+  checkpoints;
+* :mod:`~repro.runtime.degrade` — the graceful-degradation ladder's
+  per-victim provenance (:class:`DegradationReport`);
+* :mod:`~repro.runtime.checkpoint` — JSON snapshot/resume of engine
+  frontiers at cardinality boundaries;
+* :mod:`~repro.runtime.faultinject` — the seeded chaos harness driving
+  ``tests/chaos/``.
+
+See ``docs/robustness.md`` for semantics and usage.
+"""
+
+from .errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ReproError,
+    WaveformFaultError,
+)
+from .budget import ON_BUDGET_MODES, RunBudget, RuntimeMonitor
+from .degrade import DegradationReport, VictimDegradation
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faultinject import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    injected,
+)
+
+__all__ = [
+    "BudgetExceededError",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "DegradationReport",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "ON_BUDGET_MODES",
+    "ReproError",
+    "RunBudget",
+    "RuntimeMonitor",
+    "VictimDegradation",
+    "WaveformFaultError",
+    "injected",
+]

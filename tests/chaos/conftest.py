@@ -1,0 +1,19 @@
+"""Chaos-suite fixtures.
+
+Every test in this package may install a process-global fault injector;
+the autouse fixture guarantees no injector leaks across tests (or out of
+the suite into the rest of tier 1) even when a test fails mid-block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import faultinject
+
+
+@pytest.fixture(autouse=True)
+def _no_injector_leak():
+    faultinject.clear()
+    yield
+    faultinject.clear()

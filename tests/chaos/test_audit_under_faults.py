@@ -1,0 +1,76 @@
+"""The dominance audit (RPR5xx) under budget pressure and injected faults.
+
+Degrading a run must not corrupt the pruning instrumentation: a
+beam-narrowed solve still passes the full Theorem-1 audit, and the
+prune log stays in lockstep with the engine's counters.  The one known
+exception — resuming from a checkpoint restores the counters but not the
+log — must be *flagged* by RPR504, not silently accepted.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import ADDITION, TopKConfig, TopKEngine
+from repro.lint import run_lint
+from repro.runtime import FaultSpec, RunBudget, injected
+
+
+def _audit(design, engine):
+    return run_lint(design, engine=engine, categories=("audit",))
+
+
+class TestAuditUnderDegradation:
+    def test_rung1_degraded_run_passes_audit(self, tiny_design):
+        cfg = TopKConfig(
+            audit_dominance=True,
+            budget=RunBudget(
+                max_candidates=10, degraded_beam_width=2, escalation=1000.0
+            ),
+        )
+        engine = TopKEngine(tiny_design, ADDITION, cfg)
+        solution = engine.solve(3)
+        assert solution.degraded and solution.degradation.rung == 1
+        report = _audit(tiny_design, engine)
+        assert not report.errors, report.summary()
+        assert engine.stats.dominated == len(engine.prune_log)
+
+    def test_halted_run_passes_audit(self, tiny_design):
+        cfg = TopKConfig(audit_dominance=True, budget=RunBudget())
+        with injected(FaultSpec("deadline", target="@k3")):
+            engine = TopKEngine(tiny_design, ADDITION, cfg)
+            solution = engine.solve(4)
+        assert solution.degraded and solution.degradation.rung == 2
+        # Every pruning decision taken before the halt is still sound.
+        report = _audit(tiny_design, engine)
+        assert not report.errors, report.summary()
+        assert engine.stats.dominated == len(engine.prune_log)
+
+    def test_inert_injector_does_not_perturb_audit(self, tiny_design):
+        cfg = TopKConfig(audit_dominance=True)
+        with injected(FaultSpec("nan_waveform", target="no-such-site")) as inj:
+            engine = TopKEngine(tiny_design, ADDITION, cfg)
+            engine.solve(3)
+        assert not inj.fired
+        report = _audit(tiny_design, engine)
+        assert not report.errors, report.summary()
+
+
+class TestAuditAfterResume:
+    def test_resume_desync_is_flagged_not_silent(self, tiny_design, tmp_path):
+        # A restored engine adopts the snapshot's counters (including
+        # `dominated`) but cannot replay the prune log; the audit must
+        # call that out (RPR504) instead of vacuously passing.
+        ckpt = str(tmp_path / "tiny.json")
+        cfg = TopKConfig(
+            audit_dominance=True, budget=RunBudget(checkpoint_path=ckpt)
+        )
+        first = TopKEngine(tiny_design, ADDITION, cfg)
+        first.solve(2)
+        assert first.stats.dominated > 0  # the scenario is non-trivial
+
+        resumed = TopKEngine(tiny_design, ADDITION, cfg)
+        assert resumed.resumed_from == ckpt
+        resumed.solve(3)
+        report = _audit(tiny_design, resumed)
+        assert any(f.code == "RPR504" for f in report.errors), (
+            "resume must not silently satisfy the dominance audit"
+        )

@@ -1,0 +1,95 @@
+"""Forced non-convergence: error payload and the escalating-damping retry.
+
+``FaultSpec("no_convergence")`` pushes the fixpoint's per-iteration delta
+above tolerance at every opportunity it is armed for, which lets the
+tests drive the retry ladder deterministically: arm exactly one
+attempt's worth of iterations and the next attempt converges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noise.analysis import (
+    RETRY_DAMPING_SCHEDULE,
+    ConvergenceError,
+    NoiseConfig,
+    analyze_noise,
+    analyze_noise_resilient,
+)
+from repro.runtime import FaultSpec, ReproError, injected
+
+#: Small iteration budget so one attempt is cheap to exhaust.
+_CFG = NoiseConfig(max_iterations=5)
+
+
+class TestConvergenceErrorPayload:
+    def test_strict_failure_carries_trace_and_iterate(self, tiny_design):
+        cfg = NoiseConfig(max_iterations=5, strict=True)
+        with injected(FaultSpec("no_convergence")):
+            with pytest.raises(ConvergenceError) as exc:
+                analyze_noise(tiny_design, config=cfg)
+        err = exc.value
+        assert isinstance(err, ReproError)
+        assert isinstance(err, RuntimeError)  # legacy except-clauses still work
+        assert err.iterations == 5
+        assert len(err.history) == 5
+        assert all(h > cfg.tolerance_ns for h in err.history)
+        assert err.tolerance_ns == cfg.tolerance_ns
+        assert isinstance(err.last_delay_noise, dict)
+        assert err.phase == "noise"
+
+    def test_non_strict_returns_unconverged_iterate(self, tiny_design):
+        with injected(FaultSpec("no_convergence")):
+            result = analyze_noise(tiny_design, config=_CFG)
+        assert not result.converged
+        assert result.iterations == 5
+        assert len(result.delta_history) == 5
+        assert result.circuit_delay() >= result.nominal_delay()
+
+
+class TestRetryLadder:
+    def test_retry_recovers_after_transient_fault(self, tiny_design):
+        # Arm exactly one attempt's worth of iterations: attempt 0 cannot
+        # converge, attempt 1 (damping 0.35) runs fault-free and does.
+        with injected(FaultSpec("no_convergence", count=_CFG.max_iterations)):
+            result = analyze_noise_resilient(tiny_design, config=_CFG, retries=2)
+        assert result.converged
+        assert result.retries == 1
+        assert result.damping_used == RETRY_DAMPING_SCHEDULE[0]
+
+    def test_retry_matches_clean_run(self, tiny_design):
+        clean = analyze_noise(tiny_design, config=_CFG)
+        with injected(FaultSpec("no_convergence", count=_CFG.max_iterations)):
+            retried = analyze_noise_resilient(tiny_design, config=_CFG, retries=2)
+        # Damping changes the path, not the fixpoint: the recovered
+        # answer agrees with the clean one to (loose) tolerance.
+        assert retried.circuit_delay() == pytest.approx(
+            clean.circuit_delay(), abs=50 * _CFG.tolerance_ns
+        )
+
+    def test_persistent_fault_exhausts_retries_strict(self, tiny_design):
+        cfg = NoiseConfig(max_iterations=4, strict=True)
+        with injected(FaultSpec("no_convergence")):
+            with pytest.raises(ConvergenceError) as exc:
+                analyze_noise_resilient(tiny_design, config=cfg, retries=2)
+        err = exc.value
+        assert len(err.attempts) == 3  # original + 2 retries
+        assert all(len(trace) == 4 for trace in err.attempts)
+
+    def test_persistent_fault_non_strict_returns_last_iterate(self, tiny_design):
+        with injected(FaultSpec("no_convergence")):
+            result = analyze_noise_resilient(tiny_design, config=_CFG, retries=1)
+        assert not result.converged
+        assert result.retries == 1
+        assert result.damping_used == RETRY_DAMPING_SCHEDULE[0]
+
+    def test_zero_retries_is_plain_analysis(self, tiny_design):
+        with injected(FaultSpec("no_convergence")):
+            result = analyze_noise_resilient(tiny_design, config=_CFG, retries=0)
+        assert not result.converged
+        assert result.retries == 0
+
+    def test_negative_retries_rejected(self, tiny_design):
+        with pytest.raises(ValueError, match="retries"):
+            analyze_noise_resilient(tiny_design, config=_CFG, retries=-1)
