@@ -15,6 +15,9 @@ The package is layered (see DESIGN.md):
 * :mod:`repro.core` — the paper's contribution: pseudo aggressors,
   dominance/irredundant lists, and the top-k addition / elimination
   algorithms plus the brute-force baseline.
+* :mod:`repro.verify` — proof-carrying solves: certificate emission
+  (``certify=True``), the independent certificate checker, and the
+  interval abstract domain bounding delay noise statically.
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from .core.topk_addition import top_k_addition_sweep
 from .core.topk_elimination import top_k_elimination_sweep
 from .runtime import (
     BudgetExceededError,
+    CertificateError,
     CheckpointError,
     DegradationReport,
     ReproError,
@@ -58,12 +62,15 @@ from .runtime import (
     WaveformFaultError,
 )
 from .timing.constraints import Constraints
+from .verify import Certificate, check_certificate, propagate_delay_bounds
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisConfig",
     "BudgetExceededError",
+    "Certificate",
+    "CertificateError",
     "CheckpointError",
     "Constraints",
     "DegradationReport",
@@ -74,6 +81,7 @@ __all__ = [
     "WaveformFaultError",
     "__version__",
     "analyze",
+    "check_certificate",
     "circuit_delay",
     "load_bench",
     "load_verilog",
@@ -81,6 +89,7 @@ __all__ = [
     "minimum_fix_set",
     "parse_bench",
     "parse_verilog",
+    "propagate_delay_bounds",
     "random_design",
     "recommend_addition_budget",
     "recommend_elimination_budget",

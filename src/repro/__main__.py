@@ -2,7 +2,9 @@
 
 * ``python -m repro ...`` — the top-k solver (same as ``repro-topk``);
 * ``python -m repro topk ...`` — the same, spelled explicitly;
-* ``python -m repro lint ...`` — the linter (same as ``repro-lint``).
+* ``python -m repro lint ...`` — the linter (same as ``repro-lint``);
+* ``python -m repro certify ...`` — the proof-carrying certifier (same
+  as ``repro-certify``).
 """
 
 from __future__ import annotations
@@ -17,6 +19,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(args[1:])
+    if args and args[0] == "certify":
+        from .verify.cli import main as certify_main
+
+        return certify_main(args[1:])
     if args and args[0] == "topk":
         args = args[1:]
     from .cli import main as topk_main

@@ -33,6 +33,7 @@ def analyze(
     mode: str = ADDITION,
     config: Optional[AnalysisConfig] = None,
     lint: Union[None, bool, str] = None,
+    certify: bool = False,
     deadline_s: Optional[float] = None,
     on_budget: Optional[str] = None,
     checkpoint_path: Optional[str] = None,
@@ -71,6 +72,13 @@ def analyze(
 
         With lint enabled the findings are attached to the result as
         ``result.lint_report``.
+    certify:
+        Emit a proof-carrying certificate for the solve and validate it
+        with the independent checker before returning (see
+        ``docs/verification.md``).  The certificate is attached as
+        ``result.certificate``; a rejected certificate raises
+        :class:`~repro.runtime.errors.CertificateError` with the
+        checker's pinpointed findings.
 
     >>> from repro import make_paper_benchmark, analyze
     >>> result = analyze(make_paper_benchmark("i1"), k=3)
@@ -104,9 +112,13 @@ def analyze(
         base_cfg = config if config is not None else AnalysisConfig()
         base_budget = base_cfg.budget if base_cfg.budget is not None else RunBudget()
         config = replace(base_cfg, budget=replace(base_budget, **overrides))
+    if certify:
+        base_cfg = config if config is not None else AnalysisConfig()
+        if not base_cfg.certify:
+            config = replace(base_cfg, certify=True)
     solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
     if lint in (None, False):
-        return solver(design, k, config)
+        return _checked(solver(design, k, config), design, certify)
 
     from .lint import LintConfig, assert_clean, run_lint
 
@@ -119,16 +131,35 @@ def analyze(
     )
     assert_clean(report)
     if lint != "audit":
-        result = solver(design, k, cfg)
+        result = _checked(solver(design, k, cfg), design, certify)
         return replace(result, lint_report=report)
 
     audit_cfg = replace(cfg, audit_dominance=True)
     engine = TopKEngine(design, mode, audit_cfg)
-    result = solver(design, k, audit_cfg, engine=engine)
+    result = _checked(
+        solver(design, k, audit_cfg, engine=engine), design, certify
+    )
     audit_report = run_lint(design, engine=engine, categories=("audit",))
     report = report.merged_with(audit_report)
     assert_clean(audit_report)
     return replace(result, lint_report=report)
+
+
+def _checked(result: TopKResult, design: Design, certify: bool) -> TopKResult:
+    """Validate the attached certificate with the independent checker."""
+    if not certify or result.certificate is None:
+        return result
+    from .runtime.errors import CertificateError
+    from .verify import check_certificate
+
+    report = check_certificate(result.certificate, design=design)
+    if not report.ok:
+        raise CertificateError(
+            f"the solve's certificate was rejected: {report.summary()}",
+            findings=[str(f) for f in report.errors],
+            phase="certify",
+        )
+    return result
 
 
 def circuit_delay(

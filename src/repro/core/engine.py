@@ -36,14 +36,19 @@ selected set is finally re-scored by the exact iterative noise analysis
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.coupling import CouplingCap
 from ..circuit.design import Design
-from ..noise.analysis import NoiseConfig, analyze_noise, analyze_noise_resilient
+from ..noise.analysis import (
+    NoiseConfig,
+    NoiseResult,
+    analyze_noise,
+    analyze_noise_resilient,
+)
 from ..noise.envelope import NoiseEnvelope, primary_envelope
 from ..noise.filters import windows_can_interact
 from ..noise.pulse import NoisePulse, pulse_for_coupling
@@ -132,6 +137,16 @@ class TopKConfig:
         caps with a degradation ladder, checkpoint/resume, and
         convergence retries.  ``None`` keeps the legacy open-ended exact
         behavior.  See ``docs/robustness.md``.
+    certify:
+        Emit a proof-carrying :class:`~repro.verify.Certificate` for the
+        solve: arms the prune recorder (like ``audit_dominance``),
+        records the noise fixpoint's per-iteration trace, and makes the
+        solvers attach the certificate to the result.  See
+        ``docs/verification.md``.
+    certify_witnesses:
+        Cap on how many prunes carry full envelope witnesses in the
+        certificate (evenly sampled over the prune log; ``None`` keeps
+        every one).  Per-victim prune *counts* are always complete.
     """
 
     grid_points: int = 256
@@ -145,6 +160,8 @@ class TopKConfig:
     horizon_margin: float = 2.0
     audit_dominance: bool = False
     budget: Optional[RunBudget] = None
+    certify: bool = False
+    certify_witnesses: Optional[int] = 512
 
     def __post_init__(self) -> None:
         if self.grid_points < 8:
@@ -154,6 +171,14 @@ class TopKConfig:
             raise TopKError("max_sets_per_cardinality must be >= 1 or None")
         if self.oracle_rescore_top < 1:
             raise TopKError("oracle_rescore_top must be >= 1")
+        if self.certify_witnesses is not None and self.certify_witnesses < 1:
+            raise TopKError("certify_witnesses must be >= 1 or None")
+        if self.certify and not self.noise.record_trace:
+            # Certificates need the fixpoint iterates; arm trace
+            # recording on the frozen sub-config transparently.
+            object.__setattr__(
+                self, "noise", replace(self.noise, record_trace=True)
+            )
 
 
 @dataclass
@@ -297,6 +322,9 @@ class TopKEngine:
         self._rung = 0
         self._beam_cap = self.config.max_sets_per_cardinality
         self.all_aggressor_delay: Optional[float] = None
+        #: The seed fixpoint run (elimination mode), retained when
+        #: certifying so the certificate can carry its trace.
+        self.seed_noise: Optional[NoiseResult] = None
         if mode == ELIMINATION:
             retries = budget.convergence_retries if budget is not None else 0
             monitor = self.monitor if budget is not None else None
@@ -312,6 +340,8 @@ class TopKEngine:
                 )
             self.window_timing: TimingResult = noisy.timing
             self.all_aggressor_delay = noisy.circuit_delay()
+            if self.config.certify:
+                self.seed_noise = noisy
         else:
             self.window_timing = self.nominal
         self.contexts: Dict[str, _VictimContext] = {}
@@ -815,7 +845,7 @@ class TopKEngine:
         )
         self.stats.candidates += len(candidates)
         recorder = None
-        if cfg.audit_dominance:
+        if cfg.audit_dominance or cfg.certify:
             log, net = self.prune_log, ctx.net
 
             def recorder(dominator: EnvelopeSet, pruned: EnvelopeSet) -> None:

@@ -11,6 +11,7 @@ from .engine import SolveStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lint.framework import LintReport
+    from ..verify.certificate import Certificate
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,10 @@ class TopKResult:
     degradation:
         The degradation ladder's record (reason, rung, completed
         cardinality, per-victim drop provenance) when ``degraded``.
+    certificate:
+        The proof-carrying :class:`~repro.verify.Certificate` of the
+        solve when the query ran with ``certify=True``; ``None``
+        otherwise.  See ``docs/verification.md``.
     """
 
     mode: str
@@ -82,6 +87,7 @@ class TopKResult:
     lint_report: Optional["LintReport"] = None
     degraded: bool = False
     degradation: Optional[DegradationReport] = None
+    certificate: Optional["Certificate"] = None
 
     @property
     def effective_k(self) -> int:

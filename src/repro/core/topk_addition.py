@@ -9,10 +9,11 @@ a signoff flow must honor, or to prioritize coupling fixes.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
 
 from ..circuit.design import Design
-from ..noise.analysis import circuit_delay_with_couplings
+from ..noise.analysis import NoiseResult, noise_result_with_couplings
 from .engine import ADDITION, EngineSolution, TopKConfig, TopKEngine
 from .report import SweepPoint, TopKResult, coupling_details
 
@@ -82,6 +83,7 @@ def _result_from_solution(
     budget = engine.config.budget
     retries = budget.convergence_retries if budget is not None else 0
     monitor = engine.monitor if budget is not None else None
+    oracle_traces: List[Tuple[str, NoiseResult]] = []
     if engine.config.evaluate_with_oracle:
         if chosen:
             # Optionally let the exact analysis arbitrate among the best
@@ -95,7 +97,7 @@ def _result_from_solution(
                 pool = pool[:1]
             best_delay: Optional[float] = None
             for cand in pool or [solution.best]:
-                d = circuit_delay_with_couplings(
+                noisy = noise_result_with_couplings(
                     design,
                     cand.couplings,
                     config=engine.config.noise,
@@ -103,13 +105,18 @@ def _result_from_solution(
                     monitor=monitor,
                     retries=retries,
                 )
+                d = noisy.circuit_delay()
+                if engine.config.certify:
+                    oracle_traces.append(
+                        (f"oracle:{sorted(cand.couplings)}", noisy)
+                    )
                 if best_delay is None or d > best_delay:
                     best_delay = d
                     chosen = cand.couplings
             delay = best_delay
         else:
             delay = solution.nominal_delay
-    return TopKResult(
+    result = TopKResult(
         mode=ADDITION,
         requested_k=solution.k,
         couplings=frozenset(chosen),
@@ -123,3 +130,13 @@ def _result_from_solution(
         degraded=solution.degraded,
         degradation=solution.degradation,
     )
+    if engine.config.certify:
+        from ..verify.certificate import emit_certificate
+
+        result = replace(
+            result,
+            certificate=emit_certificate(
+                engine, solution, result, oracle_traces
+            ),
+        )
+    return result

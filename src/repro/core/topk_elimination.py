@@ -9,10 +9,11 @@ paper motivates.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
 
 from ..circuit.design import Design
-from ..noise.analysis import analyze_noise, analyze_noise_resilient
+from ..noise.analysis import NoiseResult, analyze_noise, analyze_noise_resilient
 from .engine import ELIMINATION, EngineSolution, TopKConfig, TopKEngine
 from .report import SweepPoint, TopKResult, coupling_details
 
@@ -79,6 +80,7 @@ def _result_from_solution(
     budget = engine.config.budget
     retries = budget.convergence_retries if budget is not None else 0
     monitor = engine.monitor if budget is not None else None
+    oracle_traces: List[Tuple[str, NoiseResult]] = []
     if engine.config.evaluate_with_oracle:
         pool = solution.finalists[: engine.config.oracle_rescore_top]
         if solution.degraded and solution.degradation is not None and (
@@ -101,11 +103,15 @@ def _result_from_solution(
                     graph=engine.graph, monitor=monitor,
                 )
             d = noisy.circuit_delay()
+            if engine.config.certify:
+                oracle_traces.append(
+                    (f"oracle:without{sorted(couplings)}", noisy)
+                )
             if best_delay is None or d < best_delay:
                 best_delay = d
                 chosen = couplings
         delay = best_delay
-    return TopKResult(
+    result = TopKResult(
         mode=ELIMINATION,
         requested_k=solution.k,
         couplings=frozenset(chosen),
@@ -119,3 +125,13 @@ def _result_from_solution(
         degraded=solution.degraded,
         degradation=solution.degradation,
     )
+    if engine.config.certify:
+        from ..verify.certificate import emit_certificate
+
+        result = replace(
+            result,
+            certificate=emit_certificate(
+                engine, solution, result, oracle_traces
+            ),
+        )
+    return result

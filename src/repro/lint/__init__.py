@@ -12,6 +12,9 @@ instead of deep stack traces or silently wrong top-k sets.
   the static rule catalog (RPR1xx-RPR4xx).
 * :mod:`~repro.lint.audit` — the Theorem-1 dominance-soundness audit
   (RPR5xx), a run-time sanitizer for the pruning engine.
+* :mod:`~repro.lint.rules_certificate` — certificate re-validation
+  (RPR6xx), surfacing :func:`repro.verify.check_certificate` through
+  the lint reporters (see ``docs/verification.md``).
 * :mod:`~repro.lint.reporters` — text / JSON / SARIF output.
 * :mod:`~repro.lint.baseline` — snapshot known findings; CI fails only
   on regressions.
@@ -48,7 +51,14 @@ from .framework import (
 )
 
 # Import for side effects: register the built-in rule catalog.
-from . import audit, rules_config, rules_coupling, rules_netlist, rules_timing  # noqa: F401,E402
+from . import (  # noqa: F401,E402
+    audit,
+    rules_certificate,
+    rules_config,
+    rules_coupling,
+    rules_netlist,
+    rules_timing,
+)
 from .baseline import Baseline, BaselineError
 from .reporters import (
     render,

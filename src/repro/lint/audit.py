@@ -124,10 +124,11 @@ def audit_not_armed(ctx, report):
     decisions: auditing an engine solved without
     ``TopKConfig(audit_dominance=True)`` silently checks an empty log."""
     engine = ctx.engine
-    if not engine.config.audit_dominance:
+    if not (engine.config.audit_dominance or engine.config.certify):
         report(
-            "engine was solved without audit_dominance=True; the prune log "
-            "is empty and the dominance audit is vacuous"
+            "engine was solved without audit_dominance=True (or "
+            "certify=True); the prune log is empty and the dominance "
+            "audit is vacuous"
         )
     elif engine.stats.dominated != len(engine.prune_log):
         report(

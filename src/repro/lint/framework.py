@@ -46,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..circuit.design import Design
     from ..core.engine import TopKConfig, TopKEngine
     from ..timing.sta import TimingResult
+    from ..verify.certificate import Certificate
+    from ..verify.checker import CheckReport
 
 
 class LintError(ValueError):
@@ -75,7 +77,7 @@ _SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
 
 #: Rule categories in the order reports list them.  Each category maps to
 #: what the rule needs to run (see :meth:`Rule.applicable`).
-CATEGORIES = ("netlist", "coupling", "timing", "config", "audit")
+CATEGORIES = ("netlist", "coupling", "timing", "config", "audit", "certificate")
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 
@@ -132,6 +134,8 @@ class Rule:
             return ctx.design is not None and ctx.analysis_config is not None
         if self.category == "audit":
             return ctx.engine is not None
+        if self.category == "certificate":
+            return ctx.certificate is not None
         return False  # pragma: no cover - unreachable for registered rules
 
     def run(self, ctx: "LintContext") -> List[Finding]:
@@ -208,6 +212,18 @@ def rule(
                 f"duplicate rule code {code!r} "
                 f"(already {RULE_REGISTRY[code].name!r})"
             )
+        name = fn.__name__.replace("_", "-")
+        for existing in RULE_REGISTRY.values():
+            if existing.name == name:
+                raise RuleDefinitionError(
+                    f"rule {code}: duplicate rule name {name!r} "
+                    f"(already used by {existing.code})"
+                )
+            if legacy is not None and existing.legacy == legacy:
+                raise RuleDefinitionError(
+                    f"rule {code}: duplicate legacy alias {legacy!r} "
+                    f"(already used by {existing.code})"
+                )
         if category not in CATEGORIES:
             raise RuleDefinitionError(
                 f"rule {code}: unknown category {category!r}"
@@ -221,7 +237,7 @@ def rule(
             code=code,
             severity=severity,
             category=category,
-            name=fn.__name__.replace("_", "-"),
+            name=name,
             doc=fn.__doc__.strip(),
             check=fn,
             legacy=legacy,
@@ -250,8 +266,10 @@ class LintContext:
     analysis_config: Optional["TopKConfig"] = None
     k: Optional[int] = None
     engine: Optional["TopKEngine"] = None
+    certificate: Optional["Certificate"] = None
     _sta: Optional["TimingResult"] = field(default=None, repr=False)
     _sta_failed: bool = field(default=False, repr=False)
+    _check_report: Optional["CheckReport"] = field(default=None, repr=False)
 
     @property
     def design_name(self) -> str:
@@ -269,6 +287,20 @@ class LintContext:
             except Exception:  # noqa: BLE001 - structural dirt is expected
                 self._sta_failed = True
         return self._sta
+
+    @property
+    def check_report(self) -> Optional["CheckReport"]:
+        """The independent checker's report over :attr:`certificate`,
+        memoized so the RPR6xx rules share one checker run."""
+        if self.certificate is None:
+            return None
+        if self._check_report is None:
+            from ..verify.checker import check_certificate
+
+            self._check_report = check_certificate(
+                self.certificate, design=self.design
+            )
+        return self._check_report
 
 
 @dataclass(frozen=True)
@@ -357,6 +389,7 @@ def run_lint(
     analysis_config: Optional["TopKConfig"] = None,
     k: Optional[int] = None,
     engine: Optional["TopKEngine"] = None,
+    certificate: Optional["Certificate"] = None,
     config: Optional[LintConfig] = None,
     categories: Optional[Iterable[str]] = None,
 ) -> LintReport:
@@ -373,13 +406,24 @@ def run_lint(
     engine:
         A solved :class:`~repro.core.engine.TopKEngine` — enables the
         ``audit`` category (the Theorem-1 dominance audit).
+    certificate:
+        A solve :class:`~repro.verify.Certificate` — enables the
+        ``certificate`` category (the RPR6xx proof re-validation rules,
+        backed by :func:`repro.verify.check_certificate`).
     config:
         Suppression / failure options.
     categories:
         Restrict to these categories (default: every applicable one).
     """
     # Import for side effects: rule modules register themselves.
-    from . import audit, rules_config, rules_coupling, rules_netlist, rules_timing  # noqa: F401
+    from . import (  # noqa: F401
+        audit,
+        rules_certificate,
+        rules_config,
+        rules_coupling,
+        rules_netlist,
+        rules_timing,
+    )
 
     cfg = config if config is not None else LintConfig()
     if isinstance(target, Netlist):
@@ -392,6 +436,7 @@ def run_lint(
         analysis_config=analysis_config,
         k=k,
         engine=engine,
+        certificate=certificate,
     )
     wanted = set(categories) if categories is not None else None
     findings: List[Finding] = []

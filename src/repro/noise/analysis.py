@@ -110,6 +110,11 @@ class NoiseConfig:
         Zero (the default) is the plain fixpoint; higher values trade
         iterations for stability on oscillating instances — the knob
         the retry ladder (:func:`analyze_noise_resilient`) escalates.
+    record_trace:
+        Keep every per-iteration delay-noise map (post-damping) in
+        :attr:`NoiseResult.trace` so a certificate checker can recompute
+        the convergence history.  Off by default (the trace holds one
+        float per noisy net per iteration).
     """
 
     max_iterations: int = 12
@@ -120,6 +125,7 @@ class NoiseConfig:
     strict: bool = False
     exclusions: Optional[LogicalExclusions] = None
     damping: float = 0.0
+    record_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.start not in ("optimistic", "pessimistic"):
@@ -137,7 +143,9 @@ class NoiseResult:
     ``delta_history`` is the per-iteration maximum delay-noise change
     (the fixpoint's convergence trace); ``retries`` and ``damping_used``
     are filled by :func:`analyze_noise_resilient` when the retry ladder
-    was involved.
+    was involved.  ``trace`` holds the successive per-net delay-noise
+    iterates when ``config.record_trace`` was set (each entry i satisfies
+    ``delta_history[i] == max |trace[i] - trace[i-1]|``).
     """
 
     timing: TimingResult
@@ -148,6 +156,7 @@ class NoiseResult:
     delta_history: List[float] = field(default_factory=list)
     retries: int = 0
     damping_used: float = 0.0
+    trace: List[Dict[str, float]] = field(default_factory=list)
 
     def circuit_delay(self) -> float:
         """Circuit delay including delay noise (ns)."""
@@ -240,6 +249,7 @@ def analyze_noise(
     converged = False
     iterations = 0
     history: List[float] = []
+    trace: List[Dict[str, float]] = []
     site = f"noise:{netlist.name}"
     for iteration in range(config.max_iterations):
         if monitor is not None and monitor.exhausted_noise(site):
@@ -278,6 +288,8 @@ def analyze_noise(
         ):
             delta = max(delta, 10.0 * config.tolerance_ns, 1e-9)
         history.append(delta)
+        if config.record_trace:
+            trace.append(dict(new_extra))
         extra = new_extra
         if delta <= config.tolerance_ns and iteration > 0:
             converged = True
@@ -304,6 +316,7 @@ def analyze_noise(
         converged=converged,
         delta_history=history,
         damping_used=config.damping,
+        trace=trace,
     )
 
 
@@ -376,6 +389,30 @@ def _blend(
     return blended
 
 
+def noise_result_with_couplings(
+    design: Design,
+    active: FrozenSet[int],
+    config: NoiseConfig = NoiseConfig(),
+    graph: Optional[TimingGraph] = None,
+    monitor: Optional[RuntimeMonitor] = None,
+    retries: int = 0,
+) -> NoiseResult:
+    """Full :class:`NoiseResult` when exactly ``active`` couplings exist.
+
+    Like :func:`circuit_delay_with_couplings` but keeps the whole result
+    (certificate emission records the fixpoint trace of each oracle run).
+    """
+    view = design.coupling.restricted(frozenset(active))
+    if retries > 0:
+        return analyze_noise_resilient(
+            design, coupling=view, config=config, graph=graph,
+            monitor=monitor, retries=retries,
+        )
+    return analyze_noise(
+        design, coupling=view, config=config, graph=graph, monitor=monitor
+    )
+
+
 def circuit_delay_with_couplings(
     design: Design,
     active: FrozenSet[int],
@@ -391,17 +428,10 @@ def circuit_delay_with_couplings(
     ``all_indices - fixed`` active.  ``monitor``/``retries`` opt into the
     resilient runtime (deadline checks and convergence retries).
     """
-    view = design.coupling.restricted(frozenset(active))
-    if retries > 0:
-        result = analyze_noise_resilient(
-            design, coupling=view, config=config, graph=graph,
-            monitor=monitor, retries=retries,
-        )
-    else:
-        result = analyze_noise(
-            design, coupling=view, config=config, graph=graph, monitor=monitor
-        )
-    return result.circuit_delay()
+    return noise_result_with_couplings(
+        design, active, config=config, graph=graph,
+        monitor=monitor, retries=retries,
+    ).circuit_delay()
 
 
 def _max_change(old: Dict[str, float], new: Dict[str, float]) -> float:

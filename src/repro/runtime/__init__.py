@@ -21,6 +21,7 @@ See ``docs/robustness.md`` for semantics and usage.
 
 from .errors import (
     BudgetExceededError,
+    CertificateError,
     CheckpointError,
     ReproError,
     WaveformFaultError,
@@ -42,6 +43,7 @@ from .faultinject import (
 __all__ = [
     "BudgetExceededError",
     "CHECKPOINT_VERSION",
+    "CertificateError",
     "CheckpointError",
     "DegradationReport",
     "FAULT_KINDS",

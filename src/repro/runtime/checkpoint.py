@@ -50,11 +50,14 @@ def design_fingerprint(design: Any, mode: str, config: Any) -> Dict[str, Any]:
 
     Only knobs that shape the enumeration state are included; oracle and
     budget knobs may differ between the interrupted and the resuming run
-    (that is the point of resuming with a larger deadline).
+    (that is the point of resuming with a larger deadline).  Certifying
+    runs additionally bind to the certificate format version, so a
+    resume across a format change fails loudly instead of producing an
+    unverifiable mixed-format certificate.
     """
     stats = design.stats()
     noise = config.noise
-    return {
+    fingerprint: Dict[str, Any] = {
         "design": stats.name,
         "gates": stats.gates,
         "nets": stats.nets,
@@ -75,6 +78,11 @@ def design_fingerprint(design: Any, mode: str, config: Any) -> Dict[str, Any]:
             "damping": noise.damping,
         },
     }
+    if getattr(config, "certify", False):
+        from ..verify.certificate import CERTIFICATE_FORMAT_VERSION
+
+        fingerprint["certificate_format"] = CERTIFICATE_FORMAT_VERSION
+    return fingerprint
 
 
 def envelope_set_to_json(es: Any) -> Dict[str, Any]:

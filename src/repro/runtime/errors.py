@@ -84,3 +84,12 @@ class WaveformFaultError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint file is unreadable, malformed, or does not match the
     design/config it is being restored into."""
+
+
+class CertificateError(ReproError):
+    """A solve certificate is unreadable, malformed, or was rejected by
+    the independent checker (:func:`repro.verify.check_certificate`).
+
+    When the checker rejects, the message carries its summary and the
+    context includes ``findings`` (the stringified error findings), so
+    the offending net/prune record is pinpointed in the exception."""

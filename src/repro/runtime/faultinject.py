@@ -21,6 +21,11 @@ Fault kinds
 ``deadline``
     Report the wall-clock deadline as already expired at a budget
     checkpoint (simulated deadline hit, independent of real time).
+``shrink_envelope``
+    Halve a dominator envelope as it is recorded into a solve
+    certificate (:func:`repro.verify.certificate.emit_certificate`) —
+    models a witness-recording bug that the independent certificate
+    checker must reject with a pinpointed net/prune record.
 
 Usage::
 
@@ -48,6 +53,7 @@ FAULT_KINDS = (
     "corrupt_envelope",
     "no_convergence",
     "deadline",
+    "shrink_envelope",
 )
 
 #: Kinds that corrupt a sampled waveform array in place.

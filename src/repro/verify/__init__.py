@@ -1,0 +1,51 @@
+"""repro.verify — proof-carrying top-k: certificates and static bounds.
+
+The enumeration engine's correctness rests on Theorem 1 (dominance inside
+the dominance interval); a subtle encapsulation bug would silently yield
+a wrong top-k set with no symptom.  This subpackage turns that risk into
+cheap, CI-gated static analysis:
+
+* :mod:`~repro.verify.certificate` — every solve can emit a
+  machine-checkable :class:`Certificate` recording the dominance witness
+  behind each prune, the frontier at each cardinality boundary, and the
+  noise fixpoint's per-iteration trace.
+* :mod:`~repro.verify.checker` — an independent checker re-validating a
+  certificate in O(|certificate|) without re-running the solve and
+  without sharing any scoring code with the engine.
+* :mod:`~repro.verify.intervals` — an interval abstract domain
+  propagating sound [min, max] delay bounds through the timing graph in
+  one topological pass; every reported delay must fall inside.
+* :mod:`~repro.verify.cli` — the ``repro-certify`` console entry point.
+
+Quickstart::
+
+    from repro import make_paper_benchmark, analyze
+
+    result = analyze(make_paper_benchmark("i1"), k=3, certify=True)
+    print(result.certificate.summary())
+
+See ``docs/verification.md`` for the certificate format and the
+soundness arguments.
+"""
+
+from __future__ import annotations
+
+from .certificate import (
+    CERTIFICATE_FORMAT_VERSION,
+    Certificate,
+    emit_certificate,
+)
+from .checker import CheckFinding, CheckReport, check_certificate
+from .intervals import DelayBounds, Interval, propagate_delay_bounds
+
+__all__ = [
+    "CERTIFICATE_FORMAT_VERSION",
+    "Certificate",
+    "CheckFinding",
+    "CheckReport",
+    "DelayBounds",
+    "Interval",
+    "check_certificate",
+    "emit_certificate",
+    "propagate_delay_bounds",
+]

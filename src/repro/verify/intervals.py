@@ -1,0 +1,248 @@
+"""Interval abstract domain for delay-noise bounds.
+
+A sound over-approximation of every delay the analyses can report,
+computed in **one topological pass** under *infinite timing windows* —
+no fixpoint, no grids, no alignment search.  The abstraction:
+
+* every net carries an interval ``[lo, hi]`` containing its latest
+  arrival time under **any** subset of coupling caps and any number of
+  noise-fixpoint iterations;
+* ``lo`` is the noiseless LAT (delay noise only ever slows the late
+  transition — ``run_sta`` adds ``extra_delay`` to the LAT only);
+* ``hi`` adds, per net, a local delay-noise upper bound ``noise_ub`` on
+  top of the worst fanin arrival.
+
+Soundness of the local bound (the *ramp argument*): the victim's latest
+transition is a 0-100% ramp of transition time ``slew`` crossing 0.5 at
+``t50``.  Any combined noise envelope is pointwise bounded by ``H``, the
+sum of its pulse peaks.  For ``t >= t50 + H * slew`` the noisy waveform
+``ramp(t) - env(t)`` satisfies ``ramp(t) >= 0.5 + H >= 0.5 + env(t)``
+(using ``H <= 0.5`` for the saturated part of the ramp), so the last 0.5
+crossing — the measured delay noise — cannot exceed ``H * slew``.  When
+``H > 0.5`` the argument fails and the domain answers *top* (``inf``),
+which stays sound.  (On all paper benchmarks ``H`` stays below 0.27.)
+
+Pulse peaks decrease with aggressor slew and the measured noise grows
+with victim slew, so the bound is evaluated with a per-net **slew
+interval** ``[slew_min, slew_max]``, itself propagated topologically
+(arc output slew is monotone in input slew; arc *delay* is input-slew
+independent in this delay model, which is what makes the late-arrival
+propagation exact).
+
+Everything here is independent of the scoring stack: no grids, no
+sampled envelopes, no :func:`~repro.core.dominance.batch_delay_noise` —
+the point is that an engine bug cannot also bias the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..circuit.design import Design
+from ..noise.pulse import pulse_for_coupling
+from ..timing.delay_models import PRIMARY_INPUT_SLEW, driver_arc
+from ..timing.graph import TimingGraph
+from ..timing.sta import run_sta
+
+#: ``H`` (sum of pulse peaks) above which the ramp argument does not
+#: apply and the local bound is *top* (infinity).
+RAMP_BOUND_LIMIT = 0.5
+
+
+class IntervalError(ValueError):
+    """Raised for malformed interval construction or queries."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of times (ns); ``hi`` may be inf."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise IntervalError("interval bounds must not be NaN")
+        if self.hi < self.lo:
+            raise IntervalError(f"inverted interval [{self.lo}, {self.hi}]")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        """Whether ``value`` lies in ``[lo - slack, hi + slack]``."""
+        return self.lo - slack <= value <= self.hi + slack
+
+    def to_json(self) -> Tuple[float, float]:
+        return (self.lo, self.hi)
+
+    @classmethod
+    def from_json(cls, data: Any) -> "Interval":
+        lo, hi = data
+        return cls(float(lo), float(hi))
+
+
+@dataclass
+class DelayBounds:
+    """The abstract domain's verdict over one design.
+
+    Attributes
+    ----------
+    per_net:
+        Net name -> latest-arrival interval ``[noiseless LAT, LAT upper
+        bound under any coupling subset]``.
+    noise_ub:
+        Net name -> sound upper bound on the *local* delay noise that
+        net can ever accumulate in one superposition evaluation
+        (``inf`` = the domain's top, when the ramp argument fails).
+    slews:
+        Net name -> ``[slew_min, slew_max]`` late-slew interval.
+    circuit:
+        Circuit-delay interval (max over primary outputs).
+    horizon / margin:
+        The "infinite window" horizon used (``margin`` times the nominal
+        circuit delay) — recorded so a checker can reproduce the pass.
+    """
+
+    per_net: Dict[str, Interval] = field(default_factory=dict)
+    noise_ub: Dict[str, float] = field(default_factory=dict)
+    slews: Dict[str, Interval] = field(default_factory=dict)
+    circuit: Interval = field(default_factory=lambda: Interval(0.0, 0.0))
+    horizon: float = 0.0
+    margin: float = 2.0
+
+    def contains_delay(self, delay: float, slack: float = 0.0) -> bool:
+        """Whether a reported circuit delay falls inside the bound."""
+        return self.circuit.contains(delay, slack)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "per_net": {n: iv.to_json() for n, iv in self.per_net.items()},
+            "noise_ub": {
+                n: ("inf" if math.isinf(v) else v)
+                for n, v in self.noise_ub.items()
+            },
+            "slews": {n: iv.to_json() for n, iv in self.slews.items()},
+            "circuit": self.circuit.to_json(),
+            "horizon": self.horizon,
+            "margin": self.margin,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "DelayBounds":
+        return cls(
+            per_net={
+                str(n): Interval.from_json(iv)
+                for n, iv in data.get("per_net", {}).items()
+            },
+            noise_ub={
+                str(n): (math.inf if v == "inf" else float(v))
+                for n, v in data.get("noise_ub", {}).items()
+            },
+            slews={
+                str(n): Interval.from_json(iv)
+                for n, iv in data.get("slews", {}).items()
+            },
+            circuit=Interval.from_json(data.get("circuit", (0.0, 0.0))),
+            horizon=float(data.get("horizon", 0.0)),
+            margin=float(data.get("margin", 2.0)),
+        )
+
+
+def local_noise_bound(
+    design: Design,
+    victim: str,
+    slew_lo: Mapping[str, float],
+    slew_hi: Mapping[str, float],
+) -> float:
+    """Sound bound on the delay noise one superposition step can assign.
+
+    ``H`` sums the pulse peaks of **all** couplings on the victim — a
+    superset of whatever the window filter, logical exclusions, or a
+    what-if coupling view leave active, so the bound covers every subset
+    the engine or oracle can evaluate.  Peaks are computed with each
+    aggressor's *minimum* slew (peak is decreasing in aggressor slew)
+    and the ramp is stretched to the victim's *maximum* slew.
+    """
+    netlist = design.netlist
+    peak_sum = 0.0
+    for cc in design.coupling.aggressors_of(victim):
+        aggressor = cc.other(victim)
+        tr = slew_lo.get(aggressor, PRIMARY_INPUT_SLEW)
+        peak_sum += pulse_for_coupling(netlist, cc, victim, tr).peak
+    if peak_sum <= 0.0:
+        return 0.0
+    if peak_sum > RAMP_BOUND_LIMIT:
+        return math.inf
+    return peak_sum * slew_hi.get(victim, PRIMARY_INPUT_SLEW)
+
+
+def propagate_delay_bounds(
+    design: Design,
+    graph: Optional[TimingGraph] = None,
+    horizon_margin: float = 2.0,
+) -> DelayBounds:
+    """One-pass interval propagation of [min, max] delay bounds.
+
+    Parameters
+    ----------
+    design:
+        The design under analysis.
+    graph:
+        Pre-built timing graph to reuse.
+    horizon_margin:
+        Recorded in the result (the solver's "infinite window" horizon
+        multiple); the bound itself never needs a horizon because the
+        ramp argument is alignment-free.
+    """
+    netlist = design.netlist
+    if graph is None:
+        graph = TimingGraph.from_netlist(netlist)
+    nominal = run_sta(netlist, graph)
+
+    slew_lo: Dict[str, float] = {}
+    slew_hi: Dict[str, float] = {}
+    for net in graph.topo_order:
+        gate = netlist.driver_gate(net)
+        if gate.is_primary_input:
+            slew_lo[net] = slew_hi[net] = PRIMARY_INPUT_SLEW
+        else:
+            slew_lo[net] = min(
+                driver_arc(netlist, net, slew_lo[u]).slew for u in gate.inputs
+            )
+            slew_hi[net] = max(
+                driver_arc(netlist, net, slew_hi[u]).slew for u in gate.inputs
+            )
+
+    bounds = DelayBounds(
+        horizon=nominal.horizon(horizon_margin), margin=horizon_margin
+    )
+    hi: Dict[str, float] = {}
+    for net in graph.topo_order:
+        gate = netlist.driver_gate(net)
+        if gate.is_primary_input:
+            arrive = 0.0
+        else:
+            # Arc delay is input-slew independent (see module docs), so
+            # the worst noisy arrival is exactly max over fanin of the
+            # fanin's bound plus the nominal arc delay.
+            arrive = max(
+                hi[u] + driver_arc(netlist, net, slew_hi[u]).delay
+                for u in gate.inputs
+            )
+        dn_ub = local_noise_bound(design, net, slew_lo, slew_hi)
+        hi[net] = arrive + dn_ub
+        bounds.noise_ub[net] = dn_ub
+        bounds.slews[net] = Interval(slew_lo[net], slew_hi[net])
+        lo = nominal.lat(net)
+        bounds.per_net[net] = Interval(lo, max(lo, hi[net]))
+
+    pos = netlist.primary_outputs
+    bounds.circuit = Interval(
+        nominal.circuit_delay(),
+        max(bounds.per_net[po].hi for po in pos) if pos else 0.0,
+    )
+    return bounds

@@ -65,6 +65,24 @@ class TestDecorator:
             def dup(ctx, report):
                 """Doc."""
 
+    def test_rejects_duplicate_rule_name(self):
+        # RPR101's derived name is "undriven-net"; a second rule whose
+        # function name collides must be refused even under a fresh code.
+        with pytest.raises(RuleDefinitionError, match="duplicate rule name"):
+
+            @rule("RPR995", Severity.ERROR, "netlist")
+            def undriven_net(ctx, report):
+                """Doc."""
+
+    def test_rejects_duplicate_legacy_alias(self):
+        with pytest.raises(
+            RuleDefinitionError, match="duplicate legacy alias"
+        ):
+
+            @rule("RPR994", Severity.ERROR, "netlist", legacy="dangling-net")
+            def freshly_named(ctx, report):
+                """Doc."""
+
     def test_rejects_unknown_category(self):
         with pytest.raises(RuleDefinitionError, match="category"):
 

@@ -153,6 +153,75 @@ class TestRenderDispatch:
         assert render(clean_report, "json") == render_json(clean_report)
         assert render(clean_report, "sarif") == render_sarif(clean_report)
 
+
+class TestSarifRoundTrip:
+    """Emit -> parse -> everything that matters survives, across every
+    severity and including the RPR6xx certificate rules."""
+
+    @pytest.fixture(scope="class")
+    def certificate_report(self):
+        from repro.circuit.generator import random_design
+        from repro.core.engine import TopKConfig
+        from repro.core.topk_addition import top_k_addition_set
+        from repro.verify import Certificate
+
+        design = random_design("sarif-rt", n_gates=14, target_caps=20, seed=6)
+        cert = top_k_addition_set(
+            design, 2, TopKConfig(certify=True, certify_witnesses=3)
+        ).certificate
+        # Tamper through the JSON path so RPR602 (error, pinpointed
+        # location), RPR606 (warning, sampled witnesses) and RPR607
+        # (info, version skew) all fire in one report.
+        data = cert.to_json()
+        data["witnesses"][0]["dominator"]["score"] += 0.5
+        data["tool_version"] = "0.0.1"
+        bad = Certificate.from_json(data)
+        return run_lint(design, certificate=bad, categories=("certificate",))
+
+    def test_rule_ids_levels_locations_survive(self, certificate_report):
+        sarif = json.loads(render_sarif(certificate_report))
+        (run,) = sarif["runs"]
+        emitted = {
+            (f.code, f.location): f for f in certificate_report.findings
+        }
+        parsed = {}
+        for result in run["results"]:
+            logical = result["locations"][0]["logicalLocations"][0]
+            name = logical["fullyQualifiedName"]
+            location = name.split("::", 1)[1] if "::" in name else name
+            parsed[(result["ruleId"], location)] = result["level"]
+        # Every finding with a location survives as (ruleId, location)...
+        for (code, location) in emitted:
+            if location:
+                assert (code, location) in parsed
+        codes_emitted = {c for c, _ in emitted}
+        codes_parsed = {c for c, _ in parsed}
+        assert codes_parsed == codes_emitted
+        assert {"RPR602", "RPR606", "RPR607"} <= codes_parsed
+        # ...and the severity mapping is faithful.
+        by_code = {}
+        for (code, _), level in parsed.items():
+            by_code.setdefault(code, set()).add(level)
+        assert by_code["RPR602"] == {"error"}
+        assert by_code["RPR606"] == {"warning"}
+        assert by_code["RPR607"] == {"note"}
+
+    def test_pinpointed_prune_location_survives(self, certificate_report):
+        sarif = json.loads(render_sarif(certificate_report))
+        names = [
+            loc["logicalLocations"][0]["fullyQualifiedName"]
+            for result in sarif["runs"][0]["results"]
+            for loc in result.get("locations", [])
+        ]
+        assert any(":prune" in n for n in names)
+
+    def test_catalog_carries_rpr6xx(self, certificate_report):
+        sarif = json.loads(render_sarif(certificate_report))
+        rules = {
+            r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {f"RPR60{i}" for i in range(1, 8)} <= rules
+
     def test_unknown_format(self, clean_report):
         with pytest.raises(ValueError, match="format"):
             render(clean_report, "xml")

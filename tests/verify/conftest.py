@@ -1,0 +1,51 @@
+"""Shared fixtures for the proof-carrying verification suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.generator import random_design
+from repro.core.engine import TopKConfig
+from repro.core.topk_addition import top_k_addition_set
+from repro.core.topk_elimination import top_k_elimination_set
+
+
+@pytest.fixture(scope="session")
+def certify_design():
+    """A 16-gate design small enough to certify in milliseconds but busy
+    enough to produce real prune witnesses in both modes."""
+    return random_design("cert", n_gates=16, target_caps=24, seed=11)
+
+
+@pytest.fixture(scope="session")
+def addition_result(certify_design):
+    return top_k_addition_set(certify_design, 2, TopKConfig(certify=True))
+
+
+@pytest.fixture(scope="session")
+def elimination_result(certify_design):
+    return top_k_elimination_set(certify_design, 2, TopKConfig(certify=True))
+
+
+@pytest.fixture(scope="session")
+def addition_cert(addition_result):
+    cert = addition_result.certificate
+    assert cert is not None
+    return cert
+
+
+@pytest.fixture(scope="session")
+def elimination_cert(elimination_result):
+    cert = elimination_result.certificate
+    assert cert is not None
+    return cert
+
+
+def tampered(cert, mutate):
+    """Round-trip ``cert`` through JSON, apply ``mutate`` to the payload
+    dict, and parse it back — the same path a corrupted artifact takes."""
+    from repro.verify import Certificate
+
+    data = cert.to_json()
+    mutate(data)
+    return Certificate.from_json(data)

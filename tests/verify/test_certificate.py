@@ -1,0 +1,116 @@
+"""Certificate emission, serialization, and runtime integration."""
+
+import json
+
+import pytest
+
+from repro.core.engine import ADDITION, ELIMINATION, TopKConfig, TopKError
+from repro.runtime.checkpoint import design_fingerprint
+from repro.verify import CERTIFICATE_FORMAT_VERSION, Certificate
+
+
+class TestEmission:
+    def test_addition_certificate_is_populated(self, addition_cert):
+        cert = addition_cert
+        assert cert.format_version == CERTIFICATE_FORMAT_VERSION
+        assert cert.solve.mode == ADDITION
+        assert cert.witnesses, "a busy solve must record prune witnesses"
+        assert cert.victims
+        assert cert.fixpoints, "the oracle re-score must leave a trace"
+        assert cert.interval_domain.per_net
+
+    def test_elimination_certificate_is_populated(self, elimination_cert):
+        cert = elimination_cert
+        assert cert.solve.mode == ELIMINATION
+        assert cert.witnesses
+        # Elimination seeds from a full iterative analysis, so the seed
+        # fixpoint rides along with the oracle one.
+        assert len(cert.fixpoints) >= 2
+
+    def test_every_witness_has_context(self, addition_cert):
+        for w in addition_cert.witnesses:
+            assert w.net in addition_cert.witness_context
+
+    def test_coverage_counters(self, addition_cert):
+        cov = addition_cert.witness_coverage
+        assert cov["recorded"] == len(addition_cert.witnesses)
+        assert cov["total"] >= cov["recorded"]
+
+    def test_fixpoint_trace_matches_history(self, addition_cert):
+        for fp in addition_cert.fixpoints:
+            assert len(fp.trace) == len(fp.delta_history) == fp.iterations
+
+    def test_no_certificate_without_certify(self, certify_design):
+        from repro.core.topk_addition import top_k_addition_set
+
+        result = top_k_addition_set(certify_design, 1, TopKConfig())
+        assert result.certificate is None
+
+
+class TestWitnessSampling:
+    def test_witness_cap_samples_deterministically(self, certify_design):
+        from repro.core.topk_addition import top_k_addition_set
+
+        cfg = TopKConfig(certify=True, certify_witnesses=5)
+        one = top_k_addition_set(certify_design, 2, cfg).certificate
+        two = top_k_addition_set(certify_design, 2, cfg).certificate
+        assert len(one.witnesses) == 5
+        assert one.witness_coverage["recorded"] == 5
+        assert one.witness_coverage["total"] > 5
+        assert [(w.net, w.seq) for w in one.witnesses] == [
+            (w.net, w.seq) for w in two.witnesses
+        ]
+
+    def test_witness_cap_validation(self):
+        with pytest.raises(TopKError):
+            TopKConfig(certify=True, certify_witnesses=0)
+
+    def test_certify_forces_trace_recording(self):
+        cfg = TopKConfig(certify=True)
+        assert cfg.noise.record_trace
+
+
+class TestSerialization:
+    def test_json_round_trip_validates(self, addition_cert, certify_design):
+        from repro.verify import check_certificate
+
+        back = Certificate.from_json(addition_cert.to_json())
+        report = check_certificate(back, design=certify_design)
+        assert report.ok, report.summary()
+        assert back.summary() == addition_cert.summary()
+
+    def test_save_load(self, tmp_path, elimination_cert):
+        path = tmp_path / "cert.json"
+        elimination_cert.save(str(path))
+        back = Certificate.load(str(path))
+        assert back.solve.mode == ELIMINATION
+        assert len(back.witnesses) == len(elimination_cert.witnesses)
+        # The artifact is plain JSON, loadable by anything.
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == CERTIFICATE_FORMAT_VERSION
+
+    def test_load_rejects_garbage(self, tmp_path):
+        from repro.runtime.errors import CertificateError
+
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(CertificateError):
+            Certificate.load(str(path))
+
+
+class TestCheckpointFingerprint:
+    """Satellite: a certifying run binds its checkpoint to the
+    certificate format version, so resume across a format change fails
+    loudly instead of emitting a mixed-format proof."""
+
+    def test_certify_binds_format_version(self, certify_design):
+        plain = design_fingerprint(certify_design, ADDITION, TopKConfig())
+        certifying = design_fingerprint(
+            certify_design, ADDITION, TopKConfig(certify=True)
+        )
+        assert "certificate_format" not in plain
+        assert certifying["certificate_format"] == CERTIFICATE_FORMAT_VERSION
+        # Everything else is unchanged: certify=True alone must not
+        # invalidate checkpoints taken by non-certifying runs.
+        certifying.pop("certificate_format")
+        assert certifying == plain

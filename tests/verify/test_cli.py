@@ -1,0 +1,58 @@
+"""The ``repro-certify`` entry point."""
+
+import json
+
+from repro.verify.cli import main
+
+
+def _run(*extra):
+    return main(
+        ["--gates", "14", "--seed", "6", "--k", "2", "--mode", "addition"]
+        + list(extra)
+    )
+
+
+class TestSolveAndCertify:
+    def test_exit_zero_on_valid(self, capsys):
+        assert _run() == 0
+        out = capsys.readouterr()
+        assert "VALID" in out.err
+
+    def test_save_and_check_round_trip(self, tmp_path, capsys):
+        assert _run("--save-dir", str(tmp_path)) == 0
+        saved = list(tmp_path.glob("*-addition.json"))
+        assert len(saved) == 1
+        assert main(["--check", str(saved[0])]) == 0
+        out = capsys.readouterr()
+        assert "VALID" in out.out
+
+    def test_check_rejects_tampered_file(self, tmp_path, capsys):
+        assert _run("--save-dir", str(tmp_path)) == 0
+        (path,) = tmp_path.glob("*-addition.json")
+        data = json.loads(path.read_text())
+        data["witnesses"][0]["dominator"]["score"] += 0.5
+        path.write_text(json.dumps(data))
+        assert main(["--check", str(path)]) == 1
+        out = capsys.readouterr()
+        assert "REJECTED" in out.out
+
+    def test_check_unreadable_file_is_usage_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        assert main(["--check", str(path)]) == 2
+
+    def test_sarif_output_registers_rpr6xx(self, tmp_path):
+        out = tmp_path / "certify.sarif"
+        assert _run("--format", "sarif", "--output", str(out)) == 0
+        sarif = json.loads(out.read_text())
+        rules = {
+            r["id"]
+            for r in sarif["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"RPR601", "RPR602", "RPR606"} <= rules
+
+    def test_witness_cap_flag(self, tmp_path, capsys):
+        assert _run("--witnesses", "3", "--save-dir", str(tmp_path)) == 0
+        (path,) = tmp_path.glob("*-addition.json")
+        data = json.loads(path.read_text())
+        assert len(data["witnesses"]) == 3

@@ -1,0 +1,61 @@
+"""Acceptance criterion: a fault-injected solve produces a certificate
+the independent checker *rejects*, pinpointing the corrupted prune."""
+
+import re
+
+import pytest
+
+from repro.api import analyze
+from repro.core.engine import TopKConfig
+from repro.core.topk_addition import top_k_addition_set
+from repro.runtime.errors import CertificateError
+from repro.runtime.faultinject import FaultSpec, injected
+from repro.verify import check_certificate
+
+_PRUNE_LOC = re.compile(r"(?P<net>.+):prune(?P<seq>\d+)@k\d+")
+
+
+class TestShrinkEnvelope:
+    def test_checker_rejects_corrupted_certificate(self, certify_design):
+        with injected(FaultSpec("shrink_envelope", after=3, count=1), seed=7):
+            result = top_k_addition_set(
+                certify_design, 2, TopKConfig(certify=True)
+            )
+        report = check_certificate(result.certificate, design=certify_design)
+        assert not report.ok
+        assert report.errors
+
+    def test_rejection_pinpoints_the_prune(self, certify_design):
+        with injected(FaultSpec("shrink_envelope", after=3, count=1), seed=7):
+            result = top_k_addition_set(
+                certify_design, 2, TopKConfig(certify=True)
+            )
+        report = check_certificate(result.certificate, design=certify_design)
+        locations = [
+            m for m in (_PRUNE_LOC.match(f.location) for f in report.errors) if m
+        ]
+        assert locations, "rejection must name a net/prune record"
+        # The named record exists in the certificate.
+        cert = result.certificate
+        nets = {w.net for w in cert.witnesses}
+        assert locations[0].group("net") in nets
+
+    def test_uninjected_solve_still_validates(self, certify_design):
+        result = top_k_addition_set(certify_design, 2, TopKConfig(certify=True))
+        report = check_certificate(result.certificate, design=certify_design)
+        assert report.ok, report.summary()
+
+
+class TestAnalyzeCertify:
+    def test_analyze_certify_passes_clean(self, certify_design):
+        result = analyze(certify_design, 2, certify=True)
+        assert result.certificate is not None
+
+    def test_analyze_certify_raises_on_corruption(self, certify_design):
+        with injected(FaultSpec("shrink_envelope", after=3, count=1), seed=7):
+            with pytest.raises(CertificateError) as exc:
+                analyze(certify_design, 2, certify=True)
+        # The exception carries the pinpointed findings.
+        findings = exc.value.context.get("findings", [])
+        assert findings
+        assert any(_PRUNE_LOC.search(str(f)) for f in findings)

@@ -1,0 +1,92 @@
+"""The RPR6xx certificate rules: relaying checker findings through the
+lint framework with codes, locations, and severities intact."""
+
+from repro.lint import Severity, run_lint
+
+from .conftest import tampered
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+class TestCategoryWiring:
+    def test_clean_certificate_yields_no_errors(
+        self, certify_design, addition_cert
+    ):
+        report = run_lint(
+            certify_design,
+            certificate=addition_cert,
+            categories=("certificate",),
+        )
+        assert not [f for f in report.findings if f.severity == Severity.ERROR]
+
+    def test_rules_skip_without_certificate(self, certify_design):
+        report = run_lint(certify_design, categories=("certificate",))
+        assert not report.findings
+
+    def test_checker_runs_once_memoized(self, certify_design, addition_cert):
+        from repro.lint.framework import LintContext
+
+        ctx = LintContext(
+            design=certify_design,
+            netlist=certify_design.netlist,
+            certificate=addition_cert,
+        )
+        assert ctx.check_report is ctx.check_report
+
+
+class TestFindingsRelay:
+    def test_tampered_witness_becomes_rpr602(
+        self, certify_design, addition_cert
+    ):
+        def mutate(d):
+            d["witnesses"][0]["dominator"]["score"] += 0.5
+
+        report = run_lint(
+            certify_design,
+            certificate=tampered(addition_cert, mutate),
+            categories=("certificate",),
+        )
+        hits = [f for f in report.findings if f.code == "RPR602"]
+        assert hits
+        assert hits[0].severity == Severity.ERROR
+        assert ":prune" in hits[0].location
+
+    def test_bad_format_becomes_rpr601(self, certify_design, addition_cert):
+        report = run_lint(
+            certify_design,
+            certificate=tampered(
+                addition_cert, lambda d: d.update(format_version=999)
+            ),
+            categories=("certificate",),
+        )
+        assert "RPR601" in codes(report)
+
+    def test_sampled_witnesses_become_rpr606_warning(self, certify_design):
+        from repro.core.engine import TopKConfig
+        from repro.core.topk_addition import top_k_addition_set
+
+        cert = top_k_addition_set(
+            certify_design, 2, TopKConfig(certify=True, certify_witnesses=5)
+        ).certificate
+        report = run_lint(
+            certify_design, certificate=cert, categories=("certificate",)
+        )
+        hits = [f for f in report.findings if f.code == "RPR606"]
+        assert hits
+        assert all(f.severity == Severity.WARNING for f in hits)
+
+    def test_version_skew_becomes_rpr607_info(
+        self, certify_design, addition_cert
+    ):
+        report = run_lint(
+            certify_design,
+            certificate=tampered(
+                addition_cert, lambda d: d.update(tool_version="0.0.1")
+            ),
+            categories=("certificate",),
+        )
+        hits = [f for f in report.findings if f.code == "RPR607"]
+        assert hits
+        assert hits[0].severity == Severity.INFO
