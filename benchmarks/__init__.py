@@ -1,0 +1,11 @@
+"""Paper-evaluation benchmarks as an importable package.
+
+Modules use package-relative imports with a top-level fallback, so all
+three invocation styles work:
+
+* ``python -m benchmarks.harness table1`` (package),
+* ``python benchmarks/harness.py table1`` (script — the script's own
+  directory is on ``sys.path``),
+* pytest collection from the repository root (``conftest.py`` adds the
+  directory for the historical top-level imports).
+"""

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import pytest
 
-from common import design, solver_config
+try:
+    from .common import design, solver_config
+except ImportError:  # pytest top-level collection (see conftest.py)
+    from common import design, solver_config
 from repro.core import TopKConfig, TopKEngine, top_k_addition_set
 from repro.noise.nonlinear import compare_models
 

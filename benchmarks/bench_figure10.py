@@ -13,12 +13,20 @@ from __future__ import annotations
 
 import pytest
 
-from common import (
-    FULL,
-    addition_series,
-    baseline_delays,
-    elimination_series,
-)
+try:
+    from .common import (
+        FULL,
+        addition_series,
+        baseline_delays,
+        elimination_series,
+    )
+except ImportError:  # pytest top-level collection (see conftest.py)
+    from common import (
+        FULL,
+        addition_series,
+        baseline_delays,
+        elimination_series,
+    )
 
 FIG10_CIRCUITS = ("i1", "i10") if FULL else ("i1",)
 FIG10_KS = (1, 5, 10, 20, 30, 50, 75) if FULL else (1, 3, 6, 10, 15, 20)

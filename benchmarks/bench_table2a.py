@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import pytest
 
-from common import addition_series, baseline_delays, circuits, ks
+try:
+    from .common import addition_series, baseline_delays, circuits, ks
+except ImportError:  # pytest top-level collection (see conftest.py)
+    from common import addition_series, baseline_delays, circuits, ks
 
 
 @pytest.mark.parametrize("name", circuits())

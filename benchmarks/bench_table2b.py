@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from common import baseline_delays, circuits, elimination_series, ks
+try:
+    from .common import baseline_delays, circuits, elimination_series, ks
+except ImportError:  # pytest top-level collection (see conftest.py)
+    from common import baseline_delays, circuits, elimination_series, ks
 
 
 @pytest.mark.parametrize("name", circuits())

@@ -17,21 +17,29 @@ run side by side with the paper's numbers.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import List, Sequence
 
-sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-
-from common import (  # noqa: E402
-    addition_series,
-    baseline_delays,
-    circuits,
-    elimination_series,
-    format_table2_row,
-    ks,
-    table2_header,
-)
+try:
+    from .common import (
+        addition_series,
+        baseline_delays,
+        circuits,
+        elimination_series,
+        format_table2_row,
+        ks,
+        table2_header,
+    )
+except ImportError:  # run as a script / legacy top-level import
+    from common import (
+        addition_series,
+        baseline_delays,
+        circuits,
+        elimination_series,
+        format_table2_row,
+        ks,
+        table2_header,
+    )
 
 
 def run_table1() -> None:
@@ -95,7 +103,10 @@ def run_table2(mode: str) -> None:
 
 
 def run_figure10() -> None:
-    from bench_figure10 import FIG10_CIRCUITS, FIG10_KS
+    try:
+        from .bench_figure10 import FIG10_CIRCUITS, FIG10_KS
+    except ImportError:
+        from bench_figure10 import FIG10_CIRCUITS, FIG10_KS
 
     print("== Figure 10: addition vs elimination convergence ==")
     for name in FIG10_CIRCUITS:

@@ -4,7 +4,9 @@
 * ``python -m repro topk ...`` — the same, spelled explicitly;
 * ``python -m repro lint ...`` — the linter (same as ``repro-lint``);
 * ``python -m repro certify ...`` — the proof-carrying certifier (same
-  as ``repro-certify``).
+  as ``repro-certify``);
+* ``python -m repro bench ...`` — the benchmark/regression-gate runner
+  (same as ``repro-bench``).
 """
 
 from __future__ import annotations
@@ -23,6 +25,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .verify.cli import main as certify_main
 
         return certify_main(args[1:])
+    if args and args[0] == "bench":
+        from .perf.bench import main as bench_main
+
+        return bench_main(args[1:])
     if args and args[0] == "topk":
         args = args[1:]
     from .cli import main as topk_main

@@ -39,6 +39,7 @@ def analyze(
     checkpoint_path: Optional[str] = None,
     max_candidates: Optional[int] = None,
     convergence_retries: Optional[int] = None,
+    parallelism: Optional[int] = None,
 ) -> TopKResult:
     """Compute the top-k aggressor set of either flavor.
 
@@ -79,6 +80,10 @@ def analyze(
         ``result.certificate``; a rejected certificate raises
         :class:`~repro.runtime.errors.CertificateError` with the
         checker's pinpointed findings.
+    parallelism:
+        Worker processes for the wave-scheduled sweep (folded into the
+        config; ``1`` = serial).  Results are bit-exact with the serial
+        path at any setting; see ``docs/performance.md``.
 
     >>> from repro import make_paper_benchmark, analyze
     >>> result = analyze(make_paper_benchmark("i1"), k=3)
@@ -116,6 +121,10 @@ def analyze(
         base_cfg = config if config is not None else AnalysisConfig()
         if not base_cfg.certify:
             config = replace(base_cfg, certify=True)
+    if parallelism is not None:
+        base_cfg = config if config is not None else AnalysisConfig()
+        if base_cfg.parallelism != parallelism:
+            config = replace(base_cfg, parallelism=parallelism)
     solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
     if lint in (None, False):
         return _checked(solver(design, k, config), design, certify)

@@ -109,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the exact re-evaluation of the selected set",
     )
     parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the wave-scheduled sweep (1 = serial; "
+            "results are bit-exact either way, see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
         "--lint",
         choices=("preflight", "audit"),
         default=None,
@@ -206,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         grid_points=args.grid_points,
         max_sets_per_cardinality=args.max_sets if args.max_sets > 0 else None,
         evaluate_with_oracle=not args.no_oracle,
+        parallelism=args.parallelism,
     )
     stats = design.stats()
     print(

@@ -27,8 +27,19 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..noise.envelope import ENCAPSULATION_TOL
+from ..perf.batch import delay_noise_rows
+from ..perf.memo import global_cache, grid_key, readonly
 from ..timing.waveform import Grid, rising_ramp
 from .aggressor_set import EnvelopeSet
+
+#: Process-wide cache of dominance-interval masks.  The same interval is
+#: re-masked for every ``reduce_irredundant`` call at every cardinality
+#: of a victim; the mask is a pure function of ``(lo, hi, grid)``.
+_MASK_CACHE = global_cache("interval_mask")
+
+#: Process-wide cache of sampled victim reference ramps.  The victim
+#: ramp is identical across all scoring calls for one victim context.
+_RAMP_CACHE = global_cache("victim_ramp")
 
 
 @dataclass(frozen=True)
@@ -43,8 +54,22 @@ class DominanceInterval:
             raise ValueError(f"inverted dominance interval [{self.lo}, {self.hi}]")
 
     def mask(self, grid: Grid) -> np.ndarray:
-        t = grid.times
-        return (t >= self.lo) & (t <= self.hi)
+        """Boolean grid mask of the interval (cached, read-only)."""
+        key = (self.lo, self.hi) + grid_key(grid)
+        cached = _MASK_CACHE.get(key)
+        if cached is None:
+            t = grid.times
+            cached = _MASK_CACHE.put(key, readonly((t >= self.lo) & (t <= self.hi)))
+        return cached
+
+
+def _victim_ramp(t50: float, slew: float, grid: Grid) -> np.ndarray:
+    """The sampled noiseless victim ramp (cached, read-only)."""
+    key = (t50, slew) + grid_key(grid)
+    cached = _RAMP_CACHE.get(key)
+    if cached is None:
+        cached = _RAMP_CACHE.put(key, readonly(rising_ramp(t50, slew)(grid.times)))
+    return cached
 
 
 def batch_delay_noise(
@@ -73,27 +98,10 @@ def batch_delay_noise(
         raise ValueError(
             f"env_matrix must be (m, {grid.n}), got {env_matrix.shape}"
         )
-    times = grid.times
-    ramp = rising_ramp(t50, slew)(times)
-    noisy = ramp[None, :] - env_matrix
-    below = noisy < 0.5
-    # Rising crossing in segment j: below[j] and not below[j+1].
-    cross = below[:, :-1] & ~below[:, 1:]
-    any_cross = cross.any(axis=1)
-    # Index of the LAST crossing segment per row.
-    last_idx = grid.n - 2 - np.argmax(cross[:, ::-1], axis=1)
-    rows = np.arange(env_matrix.shape[0])
-    v0 = noisy[rows, last_idx]
-    v1 = noisy[rows, last_idx + 1]
-    denom = np.where(np.abs(v1 - v0) < 1e-15, 1.0, v1 - v0)
-    frac = np.clip((0.5 - v0) / denom, 0.0, 1.0)
-    t_cross = times[last_idx] + frac * grid.dt
-    dn = np.maximum(0.0, t_cross - t50)
-    # Rows with no crossing: either the waveform stayed >= 0.5 (no
-    # observable slowdown) or stayed < 0.5 (clamp to grid horizon).
-    ends_high = noisy[:, -1] >= 0.5
-    dn = np.where(any_cross, dn, np.where(ends_high, 0.0, times[-1] - t50))
-    return np.maximum(dn, 0.0)
+    ramp = _victim_ramp(t50, slew, grid)
+    return delay_noise_rows(
+        np.float64(t50), ramp[None, :], env_matrix, grid.times, np.float64(grid.dt)
+    )
 
 
 def reduce_irredundant(

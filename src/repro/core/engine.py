@@ -36,8 +36,10 @@ selected set is finally re-scored by the exact iterative noise analysis
 from __future__ import annotations
 
 import os
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,6 +54,13 @@ from ..noise.analysis import (
 from ..noise.envelope import NoiseEnvelope, primary_envelope
 from ..noise.filters import windows_can_interact
 from ..noise.pulse import NoisePulse, pulse_for_coupling
+from ..perf.batch import delay_noise_rows
+from ..perf.memo import (
+    EnvelopeMemo,
+    counter_delta,
+    global_cache_stats,
+    grid_key,
+)
 from ..runtime import checkpoint as _ckpt
 from ..runtime import faultinject
 from ..runtime.budget import RunBudget, RuntimeMonitor
@@ -67,7 +76,12 @@ from ..timing.sta import TimingResult, run_sta
 from ..timing.waveform import Grid, Waveform, trapezoid
 from ..timing.windows import TimingWindow
 from .aggressor_set import EnvelopeSet, dedupe
-from .dominance import DominanceInterval, batch_delay_noise, reduce_irredundant
+from .dominance import (
+    DominanceInterval,
+    _victim_ramp,
+    batch_delay_noise,
+    reduce_irredundant,
+)
 
 #: Virtual sink node name (never collides with user nets by convention).
 SINK = "__sink__"
@@ -147,6 +161,14 @@ class TopKConfig:
         Cap on how many prunes carry full envelope witnesses in the
         certificate (evenly sampled over the prune log; ``None`` keeps
         every one).  Per-victim prune *counts* are always complete.
+    parallelism:
+        Number of worker processes for the wave-scheduled sweep.  ``1``
+        (the default) is the serial path; ``N > 1`` partitions each
+        cardinality pass into topological-level waves and solves a
+        wave's victims concurrently in a process pool.  Results are
+        bit-exact with the serial path in either setting; budget ticks
+        are enforced at wave granularity when parallel.  See
+        ``docs/performance.md``.
     """
 
     grid_points: int = 256
@@ -162,6 +184,7 @@ class TopKConfig:
     budget: Optional[RunBudget] = None
     certify: bool = False
     certify_witnesses: Optional[int] = 512
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.grid_points < 8:
@@ -171,6 +194,8 @@ class TopKConfig:
             raise TopKError("max_sets_per_cardinality must be >= 1 or None")
         if self.oracle_rescore_top < 1:
             raise TopKError("oracle_rescore_top must be >= 1")
+        if self.parallelism < 1:
+            raise TopKError("parallelism must be >= 1")
         if self.certify_witnesses is not None and self.certify_witnesses < 1:
             raise TopKError("certify_witnesses must be >= 1 or None")
         if self.certify and not self.noise.record_trace:
@@ -181,9 +206,39 @@ class TopKConfig:
             )
 
 
+#: SolveStats fields carrying plain enumeration counts.  These are
+#: execution-order independent: a parallel wave-scheduled solve reports
+#: exactly the same values as the serial sweep.
+_COUNTER_FIELDS = (
+    "victims",
+    "primary_aggressors",
+    "candidates",
+    "dominated",
+    "pseudo_atoms",
+    "higher_order_atoms",
+)
+
+#: SolveStats fields describing *how* the solve executed (scheduling and
+#: cache behavior).  These legitimately differ between serial and
+#: parallel runs and are excluded from bit-exactness comparisons.
+_EXECUTION_FIELDS = ("waves", "parallel_tasks")
+
+
 @dataclass
 class SolveStats:
-    """Counters describing how hard the enumeration worked."""
+    """Counters describing how hard the enumeration worked.
+
+    Beyond the enumeration counts, the profiling layer folds in
+
+    * ``phase_s`` — cumulative wall-clock seconds per solve phase
+      (``build``, ``seed_noise``, ``generate``, ``score``, ``reduce``,
+      ``parallel``, ``oracle``);
+    * ``cache_hits`` / ``cache_misses`` — per-cache counters of the
+      memoization layer (:mod:`repro.perf.memo`), including the worker
+      processes' caches when the solve ran parallel;
+    * ``waves`` / ``parallel_tasks`` — how many waves the scheduler
+      dispatched and how many worker chunks it shipped.
+    """
 
     victims: int = 0
     primary_aggressors: int = 0
@@ -191,24 +246,62 @@ class SolveStats:
     dominated: int = 0
     pseudo_atoms: int = 0
     higher_order_atoms: int = 0
+    waves: int = 0
+    parallel_tasks: int = 0
+    phase_s: Dict[str, float] = field(default_factory=dict)
+    cache_hits: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
 
     def merged_with(self, other: "SolveStats") -> "SolveStats":
-        return SolveStats(
-            victims=self.victims + other.victims,
-            primary_aggressors=self.primary_aggressors + other.primary_aggressors,
-            candidates=self.candidates + other.candidates,
-            dominated=self.dominated + other.dominated,
-            pseudo_atoms=self.pseudo_atoms + other.pseudo_atoms,
-            higher_order_atoms=self.higher_order_atoms + other.higher_order_atoms,
+        merged = SolveStats(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in _COUNTER_FIELDS + _EXECUTION_FIELDS
+            }
         )
+        merged.phase_s = _merge_sum(self.phase_s, other.phase_s)
+        merged.cache_hits = _merge_sum(self.cache_hits, other.cache_hits)
+        merged.cache_misses = _merge_sum(self.cache_misses, other.cache_misses)
+        return merged
 
-    def to_json(self) -> Dict[str, int]:
+    def core_counters(self) -> Dict[str, int]:
+        """The execution-order-independent enumeration counts."""
+        return {name: getattr(self, name) for name in _COUNTER_FIELDS}
+
+    def cache_rates(self) -> Dict[str, float]:
+        """Hit rate per cache (caches with zero lookups are omitted)."""
+        rates: Dict[str, float] = {}
+        for name in sorted(set(self.cache_hits) | set(self.cache_misses)):
+            hits = self.cache_hits.get(name, 0)
+            total = hits + self.cache_misses.get(name, 0)
+            if total:
+                rates[name] = hits / total
+        return rates
+
+    def to_json(self) -> Dict[str, object]:
         return asdict(self)
 
     @classmethod
-    def from_json(cls, data: Dict[str, int]) -> "SolveStats":
+    def from_json(cls, data: Dict[str, object]) -> "SolveStats":
         known = {f for f in cls.__dataclass_fields__}
-        return cls(**{k: int(v) for k, v in data.items() if k in known})
+        kwargs: Dict[str, object] = {}
+        for key, value in data.items():
+            if key not in known:
+                continue
+            if key == "phase_s":
+                kwargs[key] = {str(k): float(v) for k, v in dict(value).items()}
+            elif key in ("cache_hits", "cache_misses"):
+                kwargs[key] = {str(k): int(v) for k, v in dict(value).items()}
+            else:
+                kwargs[key] = int(value)  # type: ignore[call-overload]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _merge_sum(a: Dict, b: Dict) -> Dict:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0) + value
+    return out
 
 
 @dataclass
@@ -240,12 +333,6 @@ class _VictimContext:
     # only compatible completion of a set containing its dominator.
     atoms1: List[EnvelopeSet] = field(default_factory=list)
     ilists: Dict[int, List[EnvelopeSet]] = field(default_factory=dict)
-    # Higher-order envelope cache: (coupling index, rounded widening) ->
-    # sampled envelope.  Many upstream candidates share scores, so the
-    # same widened envelope is requested repeatedly.
-    ho_cache: Dict[Tuple[int, float], np.ndarray] = field(
-        default_factory=dict
-    )
     total_env: Optional[np.ndarray] = None  # elimination mode
     shift_tot: float = 0.0  # elimination mode: estimated total shift here
 
@@ -305,12 +392,17 @@ class TopKEngine:
         design: Design,
         mode: str,
         config: Optional[TopKConfig] = None,
+        memo: Optional[EnvelopeMemo] = None,
     ) -> None:
         if mode not in _MODES:
             raise TopKError(f"mode must be one of {_MODES}, got {mode!r}")
         self.design = design
         self.mode = mode
         self.config = config if config is not None else TopKConfig()
+        #: Cross-solve memoization (pulses, sampled envelopes, widened
+        #: higher-order envelopes).  Pass a shared memo to warm a new
+        #: engine over the *same design*; never share across designs.
+        self.memo = memo if memo is not None else EnvelopeMemo()
         self.netlist = design.netlist
         self.coupling = design.coupling
         self.graph = TimingGraph.from_netlist(self.netlist)
@@ -321,23 +413,29 @@ class TopKEngine:
         self.degradation: Optional[DegradationReport] = None
         self._rung = 0
         self._beam_cap = self.config.max_sets_per_cardinality
+        self._scheduler = None  # lazily built wave scheduler (parallelism > 1)
+        self._worker_cache_hits: Dict[str, int] = {}
+        self._worker_cache_misses: Dict[str, int] = {}
+        self._global_cache_base = global_cache_stats()
         self.all_aggressor_delay: Optional[float] = None
+        self.stats = SolveStats()
         #: The seed fixpoint run (elimination mode), retained when
         #: certifying so the certificate can carry its trace.
         self.seed_noise: Optional[NoiseResult] = None
         if mode == ELIMINATION:
             retries = budget.convergence_retries if budget is not None else 0
             monitor = self.monitor if budget is not None else None
-            if retries > 0:
-                noisy = analyze_noise_resilient(
-                    design, config=self.config.noise, graph=self.graph,
-                    monitor=monitor, retries=retries,
-                )
-            else:
-                noisy = analyze_noise(
-                    design, config=self.config.noise, graph=self.graph,
-                    monitor=monitor,
-                )
+            with self._phase("seed_noise"):
+                if retries > 0:
+                    noisy = analyze_noise_resilient(
+                        design, config=self.config.noise, graph=self.graph,
+                        monitor=monitor, retries=retries,
+                    )
+                else:
+                    noisy = analyze_noise(
+                        design, config=self.config.noise, graph=self.graph,
+                        monitor=monitor,
+                    )
             self.window_timing: TimingResult = noisy.timing
             self.all_aggressor_delay = noisy.circuit_delay()
             if self.config.certify:
@@ -345,17 +443,49 @@ class TopKEngine:
         else:
             self.window_timing = self.nominal
         self.contexts: Dict[str, _VictimContext] = {}
-        self.stats = SolveStats()
         self.prune_log: List[PruneRecord] = []
         self._solved_upto = 0
         self.resumed_from: Optional[str] = None
-        self._build_contexts()
+        with self._phase("build"):
+            self._build_contexts()
         if (
             budget is not None
             and budget.checkpoint_path is not None
             and os.path.exists(budget.checkpoint_path)
         ):
             self._restore_checkpoint(budget.checkpoint_path)
+
+    # ------------------------------------------------------------------
+    # lifecycle and profiling
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of a solve phase into stats."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            phases = self.stats.phase_s
+            phases[name] = phases.get(name, 0.0) + (time.perf_counter() - t0)
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    def __enter__(self) -> "TopKEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The wave scheduler owns an OS process pool; engines are
+        # pickled (to seed the workers themselves) without it.
+        state = dict(self.__dict__)
+        state["_scheduler"] = None
+        return state
 
     # ------------------------------------------------------------------
     # context construction
@@ -398,12 +528,12 @@ class TopKEngine:
                 inputs=inputs,
             )
             for info in infos:
-                info.sampled = self._guarded_sample(
-                    grid.times,
-                    info.pulse,
-                    info.window,
+                info.sampled = self._cached_sample(
+                    self.memo.primary_env,
+                    grid,
+                    info,
+                    widen=0.0,
                     net=net,
-                    coupling=info.coupling.index,
                     phase="build",
                 )
                 ctx.primary_info.append(info)
@@ -443,7 +573,10 @@ class TopKEngine:
                 victim_window, window, slack=slew_a
             ):
                 continue
-            pulse = pulse_for_coupling(self.netlist, cc, victim, slew_a)
+            pulse = self.memo.pulse.get_or(
+                (victim, cc.index, slew_a),
+                lambda: pulse_for_coupling(self.netlist, cc, victim, slew_a),
+            )
             env = primary_envelope(victim, pulse, window)
             if env.t_end <= self.nominal.lat(victim):
                 continue  # dies before the victim's t50: false aggressor
@@ -564,6 +697,64 @@ class TopKEngine:
                 phase=phase,
             )
         return arr
+
+    def _cached_sample(
+        self,
+        cache,
+        grid: Grid,
+        info: _PrimaryInfo,
+        widen: float,
+        *,
+        net: str,
+        phase: str,
+    ) -> np.ndarray:
+        """Memoized :meth:`_guarded_sample` (read-only result).
+
+        The key is the full value identity of the sample — pulse shape,
+        timing window, widening, and grid — so a cached entry can never
+        be stale (see :mod:`repro.perf.memo`).  ``widen`` is quantized
+        to the key's resolution (1e-9 ns, far below any grid step)
+        before sampling, which makes the sample a pure function of its
+        key: a cold cache and a warm cache yield bit-identical arrays,
+        the property the parallel scheduler's determinism rests on.
+        With a fault injector armed the cache is bypassed entirely, so
+        injected corruption is neither cached nor masked.
+        """
+        widen = round(widen, 9)
+        if faultinject._ACTIVE is not None:
+            return self._guarded_sample(
+                grid.times,
+                info.pulse,
+                info.window,
+                widen=widen,
+                net=net,
+                coupling=info.coupling.index,
+                phase=phase,
+            )
+        pulse, window = info.pulse, info.window
+        key = (
+            pulse.peak,
+            pulse.rise,
+            pulse.decay,
+            pulse.lead,
+            window.eat,
+            window.lat,
+            widen,
+        ) + grid_key(grid)
+        cached = cache.get(key)
+        if cached is None:
+            arr = self._guarded_sample(
+                grid.times,
+                pulse,
+                window,
+                widen=widen,
+                net=net,
+                coupling=info.coupling.index,
+                phase=phase,
+            )
+            arr.setflags(write=False)
+            cached = cache.put(key, arr)
+        return cached
 
     def _tick(self, net: str, cardinality: int, phase: str) -> None:
         """Cooperative cancellation checkpoint (budget + injected faults)."""
@@ -756,6 +947,8 @@ class TopKEngine:
         """
         if k < 0:
             raise TopKError(f"k must be >= 0, got {k}")
+        if self.config.parallelism > 1:
+            return self._solve_parallel(k)
         order = list(self.graph.topo_order) + [SINK]
         try:
             for i in range(self._solved_upto + 1, k + 1):
@@ -767,7 +960,53 @@ class TopKEngine:
             self._finalize_halt(halt, k)
         return self._solution(k)
 
+    def _solve_parallel(self, k: int) -> EngineSolution:
+        """Wave-scheduled sweeps (``parallelism > 1``), same results.
+
+        Each cardinality pass is partitioned into topological-level
+        waves (:mod:`repro.perf.waves`); a wave's victims are solved
+        concurrently in a process pool and merged back in deterministic
+        order, so the irredundant lists — and hence the solution — are
+        bit-exact with the serial path.  Budget ticks run in the parent
+        at wave granularity; checkpoints still land at cardinality
+        boundaries.  On any pool-level failure the scheduler falls back
+        to sweeping serially (with a warning) rather than losing work.
+        """
+        from ..perf.scheduler import WaveScheduler
+
+        if self._scheduler is None:
+            self._scheduler = WaveScheduler(self)
+        try:
+            for i in range(self._solved_upto + 1, k + 1):
+                with self._phase("parallel"):
+                    self._scheduler.run_pass(i)
+                self._solved_upto = i
+                self._maybe_checkpoint()
+        except _HaltSolve as halt:
+            self._finalize_halt(halt, k)
+        return self._solution(k)
+
+    def _refresh_cache_stats(self) -> None:
+        """Fold current memo + global-cache counters into the stats.
+
+        Worker-process deltas (accumulated by the wave scheduler) are
+        added on top; global-cache counts are relative to this engine's
+        construction-time baseline.
+        """
+        hits: Dict[str, int] = {}
+        misses: Dict[str, int] = {}
+        for cache in self.memo.caches():
+            hits[cache.name] = cache.hits
+            misses[cache.name] = cache.misses
+        delta = counter_delta(global_cache_stats(), self._global_cache_base)
+        for name, counts in delta.items():
+            hits[name] = hits.get(name, 0) + counts["hits"]
+            misses[name] = misses.get(name, 0) + counts["misses"]
+        self.stats.cache_hits = _merge_sum(hits, self._worker_cache_hits)
+        self.stats.cache_misses = _merge_sum(misses, self._worker_cache_misses)
+
     def _solution(self, k: int) -> EngineSolution:
+        self._refresh_cache_stats()
         if self.degradation is not None and self.degradation.rung == 1:
             # The narrowed sweep ran to completion; refresh the report's
             # progress fields (set when the ladder was climbed mid-solve).
@@ -818,7 +1057,28 @@ class TopKEngine:
         return min(candidates, key=self._rank_key)
 
     def _sweep(self, ctx: _VictimContext, i: int) -> None:
+        """One victim's full pass at cardinality ``i`` (serial path).
+
+        The pass is split into three phases the profiler times
+        separately and the wave scheduler reuses piecewise:
+        :meth:`_generate` (candidate construction), :meth:`_score`
+        (the batched delay-noise kernel), :meth:`_reduce` (dedupe +
+        dominance).  ``_score`` may be replaced by the cross-victim
+        :meth:`_score_chunk` without changing any result.
+        """
         self._tick(ctx.net, i, phase="sweep")
+        with self._phase("generate"):
+            candidates = self._generate(ctx, i)
+        if not candidates:
+            ctx.ilists[i] = []
+            return
+        with self._phase("score"):
+            self._score(ctx, candidates)
+        with self._phase("reduce"):
+            self._reduce(ctx, i, candidates)
+
+    def _generate(self, ctx: _VictimContext, i: int) -> List[EnvelopeSet]:
+        """Build the unscored candidate pool of cardinality ``i``."""
         cfg = self.config
         direct: List[EnvelopeSet] = []
         if cfg.use_pseudo:
@@ -836,10 +1096,13 @@ class TopKEngine:
                 for atom in ctx.atoms1:
                     if base.compatible(atom):
                         candidates.append(base.merged(atom))
-        if not candidates:
-            ctx.ilists[i] = []
-            return
-        self._score(ctx, candidates)
+        return candidates
+
+    def _reduce(
+        self, ctx: _VictimContext, i: int, candidates: List[EnvelopeSet]
+    ) -> None:
+        """Dedupe + dominance-reduce scored candidates into I-list_i."""
+        cfg = self.config
         candidates = dedupe(
             candidates, keep_best=True, by_score_desc=self.mode == ADDITION
         )
@@ -863,8 +1126,10 @@ class TopKEngine:
         ctx.ilists[i] = kept
         self.monitor.note_frontier(len(kept) * ctx.grid.n * 8)
 
-    def _score(self, ctx: _VictimContext, candidates: List[EnvelopeSet]) -> None:
-        self._tick(ctx.net, candidates[0].cardinality, phase="score")
+    def _validated_matrix(
+        self, ctx: _VictimContext, candidates: Sequence[EnvelopeSet]
+    ) -> np.ndarray:
+        """Stack candidate envelopes, rejecting corrupted rows."""
         matrix = np.stack([c.env for c in candidates])
         row_bad = ~np.isfinite(matrix).all(axis=1)
         if not row_bad.any():
@@ -878,6 +1143,11 @@ class TopKEngine:
                 label=bad.label or None,
                 phase="score",
             )
+        return matrix
+
+    def _score(self, ctx: _VictimContext, candidates: List[EnvelopeSet]) -> None:
+        self._tick(ctx.net, candidates[0].cardinality, phase="score")
+        matrix = self._validated_matrix(ctx, candidates)
         if self.mode == ADDITION:
             scores = batch_delay_noise(ctx.t50, ctx.slew, matrix, ctx.grid)
         else:
@@ -886,6 +1156,57 @@ class TopKEngine:
             scores = batch_delay_noise(ctx.t50, ctx.slew, remaining, ctx.grid)
         for cand, score in zip(candidates, scores):
             cand.score = float(score)
+
+    def _score_chunk(
+        self,
+        entries: Sequence[Tuple[_VictimContext, List[EnvelopeSet]]],
+    ) -> None:
+        """Score candidates of several victims in one kernel call.
+
+        All victim grids share a point count (``config.grid_points``),
+        so the rows stack into one matrix with the per-victim reference
+        ramp, t50, time base, and step riding along as row vectors.
+        Every operation in :func:`~repro.perf.batch.delay_noise_rows` is
+        row-local, so each candidate's score is bit-identical to what
+        :meth:`_score` computes for it alone — the wave scheduler's
+        workers rely on this.
+        """
+        entries = [(ctx, cands) for ctx, cands in entries if cands]
+        if not entries:
+            return
+        blocks: List[np.ndarray] = []
+        t50s: List[np.ndarray] = []
+        ramps: List[np.ndarray] = []
+        times: List[np.ndarray] = []
+        dts: List[np.ndarray] = []
+        for ctx, cands in entries:
+            self._tick(ctx.net, cands[0].cardinality, phase="score")
+            matrix = self._validated_matrix(ctx, cands)
+            if self.mode == ELIMINATION:
+                assert ctx.total_env is not None
+                matrix = np.clip(ctx.total_env[None, :] - matrix, 0.0, None)
+            m = matrix.shape[0]
+            blocks.append(matrix)
+            t50s.append(np.full(m, ctx.t50))
+            ramps.append(
+                np.broadcast_to(
+                    _victim_ramp(ctx.t50, ctx.slew, ctx.grid), (m, ctx.grid.n)
+                )
+            )
+            times.append(np.broadcast_to(ctx.grid.times, (m, ctx.grid.n)))
+            dts.append(np.full(m, ctx.grid.dt))
+        scores = delay_noise_rows(
+            np.concatenate(t50s),
+            np.concatenate(ramps),
+            np.vstack(blocks),
+            np.concatenate(times),
+            np.concatenate(dts),
+        )
+        pos = 0
+        for ctx, cands in entries:
+            for cand in cands:
+                cand.score = float(scores[pos])
+                pos += 1
 
     # ------------------------------------------------------------------
     # atom construction
@@ -962,19 +1283,14 @@ class TopKEngine:
                 return None
             if info.coupling.index in cand.couplings:
                 return None
-            key = (info.coupling.index, round(widen, 9))
-            wide = ctx.ho_cache.get(key)
-            if wide is None:
-                wide = self._guarded_sample(
-                    ctx.grid.times,
-                    info.pulse,
-                    info.window,
-                    widen=widen,
-                    net=ctx.net,
-                    coupling=info.coupling.index,
-                    phase="higher-order",
-                )
-                ctx.ho_cache[key] = wide
+            wide = self._cached_sample(
+                self.memo.ho,
+                ctx.grid,
+                info,
+                widen=widen,
+                net=ctx.net,
+                phase="higher-order",
+            )
             return EnvelopeSet(
                 couplings=cand.couplings | {info.coupling.index},
                 env=wide,
@@ -989,19 +1305,14 @@ class TopKEngine:
         if info.coupling.index in cand.couplings:
             return None
         narrow_lat = max(info.window.eat, info.window.lat - reduction)
-        key = (info.coupling.index, round(narrow_lat, 9))
-        narrow = ctx.ho_cache.get(key)
-        if narrow is None:
-            narrow = self._guarded_sample(
-                ctx.grid.times,
-                info.pulse,
-                info.window,
-                widen=narrow_lat - info.window.lat,
-                net=ctx.net,
-                coupling=info.coupling.index,
-                phase="higher-order",
-            )
-            ctx.ho_cache[key] = narrow
+        narrow = self._cached_sample(
+            self.memo.ho,
+            ctx.grid,
+            info,
+            widen=narrow_lat - info.window.lat,
+            net=ctx.net,
+            phase="higher-order",
+        )
         diff = np.clip(info.sampled - narrow, 0.0, None)
         if float(diff.max(initial=0.0)) <= 1e-12:
             return None

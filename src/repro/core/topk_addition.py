@@ -40,11 +40,16 @@ def top_k_addition_set(
     """
     cfg = config if config is not None else TopKConfig()
     t0 = time.perf_counter()
+    owned = engine is None
     if engine is None:
         engine = TopKEngine(design, ADDITION, cfg)
-    solution = engine.solve(k)
-    runtime = time.perf_counter() - t0
-    return _result_from_solution(design, engine, solution, runtime)
+    try:
+        solution = engine.solve(k)
+        runtime = time.perf_counter() - t0
+        return _result_from_solution(design, engine, solution, runtime)
+    finally:
+        if owned:
+            engine.close()
 
 
 def top_k_addition_sweep(
@@ -84,8 +89,8 @@ def _result_from_solution(
     retries = budget.convergence_retries if budget is not None else 0
     monitor = engine.monitor if budget is not None else None
     oracle_traces: List[Tuple[str, NoiseResult]] = []
-    if engine.config.evaluate_with_oracle:
-        if chosen:
+    if engine.config.evaluate_with_oracle and chosen:
+        with engine._phase("oracle"):
             # Optionally let the exact analysis arbitrate among the best
             # finalists — closes sub-threshold ranking ties the one-shot
             # superposition score cannot distinguish.
@@ -114,8 +119,8 @@ def _result_from_solution(
                     best_delay = d
                     chosen = cand.couplings
             delay = best_delay
-        else:
-            delay = solution.nominal_delay
+    elif engine.config.evaluate_with_oracle:
+        delay = solution.nominal_delay
     result = TopKResult(
         mode=ADDITION,
         requested_k=solution.k,

@@ -32,11 +32,16 @@ def top_k_elimination_set(
     """
     cfg = config if config is not None else TopKConfig()
     t0 = time.perf_counter()
+    owned = engine is None
     if engine is None:
         engine = TopKEngine(design, ELIMINATION, cfg)
-    solution = engine.solve(k)
-    runtime = time.perf_counter() - t0
-    return _result_from_solution(design, engine, solution, runtime)
+    try:
+        solution = engine.solve(k)
+        runtime = time.perf_counter() - t0
+        return _result_from_solution(design, engine, solution, runtime)
+    finally:
+        if owned:
+            engine.close()
 
 
 def top_k_elimination_sweep(
@@ -82,35 +87,36 @@ def _result_from_solution(
     monitor = engine.monitor if budget is not None else None
     oracle_traces: List[Tuple[str, NoiseResult]] = []
     if engine.config.evaluate_with_oracle:
-        pool = solution.finalists[: engine.config.oracle_rescore_top]
-        if solution.degraded and solution.degradation is not None and (
-            solution.degradation.reason == "deadline"
-        ):
-            # Past the deadline, bound the tail: one oracle call only.
-            pool = pool[:1]
-        best_delay: Optional[float] = None
-        for cand in pool or [None]:
-            couplings = cand.couplings if cand is not None else frozenset()
-            view = design.coupling.without(frozenset(couplings))
-            if retries > 0:
-                noisy = analyze_noise_resilient(
-                    design, coupling=view, config=engine.config.noise,
-                    graph=engine.graph, monitor=monitor, retries=retries,
-                )
-            else:
-                noisy = analyze_noise(
-                    design, coupling=view, config=engine.config.noise,
-                    graph=engine.graph, monitor=monitor,
-                )
-            d = noisy.circuit_delay()
-            if engine.config.certify:
-                oracle_traces.append(
-                    (f"oracle:without{sorted(couplings)}", noisy)
-                )
-            if best_delay is None or d < best_delay:
-                best_delay = d
-                chosen = couplings
-        delay = best_delay
+        with engine._phase("oracle"):
+            pool = solution.finalists[: engine.config.oracle_rescore_top]
+            if solution.degraded and solution.degradation is not None and (
+                solution.degradation.reason == "deadline"
+            ):
+                # Past the deadline, bound the tail: one oracle call only.
+                pool = pool[:1]
+            best_delay: Optional[float] = None
+            for cand in pool or [None]:
+                couplings = cand.couplings if cand is not None else frozenset()
+                view = design.coupling.without(frozenset(couplings))
+                if retries > 0:
+                    noisy = analyze_noise_resilient(
+                        design, coupling=view, config=engine.config.noise,
+                        graph=engine.graph, monitor=monitor, retries=retries,
+                    )
+                else:
+                    noisy = analyze_noise(
+                        design, coupling=view, config=engine.config.noise,
+                        graph=engine.graph, monitor=monitor,
+                    )
+                d = noisy.circuit_delay()
+                if engine.config.certify:
+                    oracle_traces.append(
+                        (f"oracle:without{sorted(couplings)}", noisy)
+                    )
+                if best_delay is None or d < best_delay:
+                    best_delay = d
+                    chosen = couplings
+            delay = best_delay
     result = TopKResult(
         mode=ELIMINATION,
         requested_k=solution.k,

@@ -1,0 +1,171 @@
+"""Keyed caches with hit/miss accounting.
+
+Two cache scopes coexist:
+
+* **Per-solver** — an :class:`EnvelopeMemo` owned by one
+  :class:`~repro.core.engine.TopKEngine`: noise pulses, sampled primary
+  envelopes, and higher-order widened/narrowed envelopes.  Entries
+  persist across cardinality levels and across repeated ``solve(k)``
+  calls on the same engine (this generalizes the old per-context
+  ``ho_cache``), and a memo can be shared between engines over the same
+  design to warm the next solve.
+* **Process-wide** — registered via :func:`global_cache`: small
+  derived arrays that are pure functions of their key, such as the
+  victim reference ramp sampled in
+  :func:`repro.core.dominance.batch_delay_noise` and the boolean
+  dominance-interval mask of
+  :meth:`repro.core.dominance.DominanceInterval.mask`.
+
+All caches are bounded (FIFO eviction) and count hits/misses; the engine
+folds the counters into :class:`~repro.core.engine.SolveStats` so cache
+effectiveness shows up in ``BENCH_topk.json``.  Cached arrays are
+returned *read-only* — callers that need to mutate must copy.
+
+Keys must be hashable value tuples (floats, ints, strings).  Because a
+key fully determines its value, a stale entry is impossible by
+construction; "invalidation" is only ever eviction for space.  See
+``docs/performance.md`` for the key layouts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+#: Default bound on entries per cache (envelope rows are ~2 KB each at
+#: the default 256-point grid, so a full cache stays below ~10 MB).
+DEFAULT_MAX_ENTRIES = 4096
+
+
+class KeyedCache:
+    """A bounded mapping with FIFO eviction and hit/miss counters."""
+
+    def __init__(self, name: str, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Look up ``key``, counting the hit or miss."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Store ``value`` under ``key`` (evicting the oldest entry)."""
+        if key not in self._data and len(self._data) >= self.max_entries:
+            self._data.popitem(last=False)
+        self._data[key] = value
+        return value
+
+    def get_or(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = self.put(key, factory())
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._data)}
+
+
+def readonly(arr: np.ndarray) -> np.ndarray:
+    """Mark an array immutable before caching it (shared by reference)."""
+    arr.setflags(write=False)
+    return arr
+
+
+def grid_key(grid: Any) -> tuple:
+    """Value identity of a sampling grid (grids are frozen dataclasses)."""
+    return (grid.t_start, grid.t_end, grid.n)
+
+
+class EnvelopeMemo:
+    """The per-solver cache bundle threaded through the engine.
+
+    Attributes
+    ----------
+    pulse:
+        ``(victim, coupling index, aggressor slew)`` ->
+        :class:`~repro.noise.pulse.NoisePulse`.
+    primary_env:
+        ``(victim, coupling index, grid key)`` -> sampled primary
+        envelope (the widen-0 base sample built once per victim grid).
+    ho:
+        ``(victim, coupling index, grid key, rounded widening)`` ->
+        sampled higher-order envelope.  This is the old per-context
+        ``ho_cache`` generalized: one keyed store for the whole engine,
+        surviving cardinality levels, repeated ``solve(k)`` calls, and
+        memo sharing across engines.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.pulse = KeyedCache("pulse", max_entries)
+        self.primary_env = KeyedCache("primary_env", max_entries)
+        self.ho = KeyedCache("ho", max_entries)
+
+    def caches(self) -> tuple:
+        return (self.pulse, self.primary_env, self.ho)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {c.name: c.stats() for c in self.caches()}
+
+
+# ----------------------------------------------------------------------
+# process-wide caches
+# ----------------------------------------------------------------------
+_GLOBAL: Dict[str, KeyedCache] = {}
+
+
+def global_cache(name: str, max_entries: int = DEFAULT_MAX_ENTRIES) -> KeyedCache:
+    """The process-wide cache registered under ``name`` (created once)."""
+    cache = _GLOBAL.get(name)
+    if cache is None:
+        cache = _GLOBAL[name] = KeyedCache(name, max_entries)
+    return cache
+
+
+def global_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/entry counts of every registered process-wide cache."""
+    return {name: cache.stats() for name, cache in sorted(_GLOBAL.items())}
+
+
+def reset_global_caches() -> None:
+    """Drop entries *and* counters of all process-wide caches (tests)."""
+    for cache in _GLOBAL.values():
+        cache.clear()
+        cache.hits = 0
+        cache.misses = 0
+
+
+def counter_delta(
+    now: Dict[str, Dict[str, int]], base: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-cache ``now - base`` hit/miss counts (entry counts dropped)."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for name, counts in now.items():
+        ref = base.get(name, {})
+        hits = counts.get("hits", 0) - ref.get("hits", 0)
+        misses = counts.get("misses", 0) - ref.get("misses", 0)
+        if hits or misses:
+            delta[name] = {"hits": hits, "misses": misses}
+    return delta

@@ -1,0 +1,191 @@
+"""Parent-side wave scheduler for ``parallelism > 1`` solves.
+
+One cardinality pass is partitioned into topological-level waves
+(:mod:`repro.perf.waves`); each wave's victims are independent, so the
+scheduler splits them into at most ``parallelism`` contiguous chunks
+and ships each chunk — with the frontier state its sweeps read — to a
+process pool whose workers hold long-lived engine replicas
+(:mod:`repro.perf.worker`).  Results are merged back in submission
+order, which makes the parent's irredundant lists, stats counters, and
+prune-log order bit-identical to the serial sweep's.
+
+Failure posture: a worker raising a structured
+:class:`~repro.runtime.errors.ReproError` (waveform fault, ...)
+propagates to the caller exactly as in the serial path; any *pool-level*
+failure (broken pool, pickling error, fork refusal) instead downgrades
+the scheduler to serial sweeps with a ``RuntimeWarning`` — the solve
+finishes with identical results, just without the parallelism.  Budget
+enforcement stays in the parent and runs once per wave.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..runtime.budget import RuntimeMonitor
+from ..runtime.errors import ReproError
+from .snapshot import unpack_sets
+from .waves import Wave, build_waves
+from .worker import init_worker, make_chunk_payload, run_chunk
+
+
+def split_chunks(items: Sequence, parts: int) -> List[List]:
+    """Split into at most ``parts`` contiguous, near-equal chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, rem = divmod(len(items), parts)
+    chunks: List[List] = []
+    start = 0
+    for p in range(parts):
+        n = size + (1 if p < rem else 0)
+        if n:
+            chunks.append(list(items[start : start + n]))
+            start += n
+    return chunks
+
+
+class WaveScheduler:
+    """Drives one engine's cardinality passes over a process pool."""
+
+    def __init__(self, engine: Any) -> None:
+        from ..core.engine import SINK
+
+        self.engine = engine
+        self.waves: List[Wave] = build_waves(engine.graph, sink=SINK)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _engine_snapshot(self) -> bytes:
+        """Pickle a worker-ready replica of the engine.
+
+        The replica keeps the design, contexts, and warm memo, but
+        drops everything that must stay parent-owned: the budget (and
+        its monitor), accumulated stats, the prune log, and any
+        degradation state.  Workers therefore never tick budgets or
+        double-count — they only report deltas.
+        """
+        from ..core.engine import SolveStats, TopKEngine
+
+        eng = self.engine
+        clone = TopKEngine.__new__(TopKEngine)
+        clone.__dict__.update(eng.__getstate__())
+        clone.config = replace(eng.config, budget=None)
+        clone.monitor = RuntimeMonitor(None)
+        clone.stats = SolveStats()
+        clone.prune_log = []
+        clone.degradation = None
+        return pickle.dumps(clone)
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None and not self._broken:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.engine.config.parallelism,
+                    initializer=init_worker,
+                    initargs=(self._engine_snapshot(),),
+                )
+            except (OSError, ValueError, pickle.PicklingError) as exc:
+                self._mark_broken(exc)
+        return self._pool
+
+    def _mark_broken(self, exc: BaseException) -> None:
+        warnings.warn(
+            f"wave scheduler fell back to serial sweeps: {exc!r}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._broken = True
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # pass execution
+    # ------------------------------------------------------------------
+    def run_pass(self, i: int) -> None:
+        """Sweep every victim at cardinality ``i``, wave by wave."""
+        eng = self.engine
+        for wave in self.waves:
+            nets = [n for n in wave.nets if n in eng.contexts]
+            if not nets:
+                continue
+            # Budget checkpoint once per wave (the parallel analogue of
+            # the serial per-victim tick; see docs/performance.md).
+            eng._tick(nets[0], i, phase="wave")
+            eng.stats.waves += 1
+            if len(nets) < 2 or self._broken or self._ensure_pool() is None:
+                self._sweep_serial(nets, i)
+                continue
+            self._run_wave(nets, i)
+
+    def _sweep_serial(self, nets: Sequence[str], i: int) -> None:
+        eng = self.engine
+        for net in nets:
+            eng._sweep(eng.contexts[net], i)
+
+    def _run_wave(self, nets: List[str], i: int) -> None:
+        eng = self.engine
+        pool = self._pool
+        assert pool is not None
+        chunks = split_chunks(nets, eng.config.parallelism)
+        pending: List = []
+        for chunk in chunks:
+            if self._broken:
+                pending.append((chunk, None))
+                continue
+            try:
+                payload = make_chunk_payload(eng, chunk, i)
+                pending.append((chunk, pool.submit(run_chunk, payload)))
+            except (BrokenProcessPool, RuntimeError, OSError) as exc:
+                self._mark_broken(exc)
+                pending.append((chunk, None))
+        # Merge in submission order: every victim, stat delta, and prune
+        # record lands in the same order the serial sweep would produce.
+        for chunk, future in pending:
+            if future is None:
+                self._sweep_serial(chunk, i)
+                continue
+            try:
+                result = future.result()
+            except ReproError:
+                raise  # a structured solver error, same as serial
+            except Exception as exc:  # pool-level failure: redo serially
+                self._mark_broken(exc)
+                self._sweep_serial(chunk, i)
+                continue
+            self._merge(result, i)
+            eng.stats.parallel_tasks += 1
+
+    def _merge(self, result: Dict[str, Any], i: int) -> None:
+        eng = self.engine
+        for net, out in result["results"].items():
+            ctx = eng.contexts[net]
+            ctx.ilists[i] = unpack_sets(out["ilist"])
+            if "atoms1" in out:
+                ctx.atoms1 = list(ctx.primaries) + unpack_sets(out["atoms1"])
+        for name, delta in result["stats"].items():
+            setattr(eng.stats, name, getattr(eng.stats, name) + delta)
+        phases = eng.stats.phase_s
+        for name, seconds in result["phase_s"].items():
+            phases[name] = phases.get(name, 0.0) + seconds
+        for name, count in result["cache_hits"].items():
+            eng._worker_cache_hits[name] = (
+                eng._worker_cache_hits.get(name, 0) + count
+            )
+        for name, count in result["cache_misses"].items():
+            eng._worker_cache_misses[name] = (
+                eng._worker_cache_misses.get(name, 0) + count
+            )
+        if result["prunes"]:
+            eng.prune_log.extend(result["prunes"])
+        eng.monitor.note_frontier(result["frontier_bytes"])

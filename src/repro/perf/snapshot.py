@@ -1,0 +1,76 @@
+"""Compact payloads for the wave scheduler's worker protocol.
+
+Irredundant lists cross the process boundary constantly — as task
+dependencies shipped to workers and as per-victim results shipped back.
+Pickling a ``List[EnvelopeSet]`` object-by-object is dominated by
+per-object overhead; packing the list into one ``(m, n)`` envelope
+matrix plus parallel metadata arrays keeps each transfer a handful of
+contiguous numpy buffers.
+
+Round-tripping is lossless: scores travel as float64, coupling /
+blocked ids as sorted tuples rebuilt into frozensets, and each unpacked
+set's ``env`` is a row view of the shared matrix (never mutated by the
+engine — merges and scoring always allocate fresh arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.aggressor_set import EnvelopeSet
+
+#: Sentinel payload for an empty list (no matrix to ship).
+_EMPTY = {"m": 0}
+
+
+def pack_sets(sets: Sequence[EnvelopeSet]) -> Dict[str, object]:
+    """Pack a list of envelope sets into one matrix + metadata."""
+    if not sets:
+        return dict(_EMPTY)
+    return {
+        "m": len(sets),
+        "env": np.stack([s.env for s in sets]),
+        "scores": np.array([s.score for s in sets], dtype=np.float64),
+        "couplings": [tuple(sorted(s.couplings)) for s in sets],
+        "blocked": [tuple(sorted(s.blocked)) for s in sets],
+        "labels": [s.label for s in sets],
+    }
+
+
+def unpack_sets(payload: Dict[str, object]) -> List[EnvelopeSet]:
+    """Rebuild the packed list (inverse of :func:`pack_sets`)."""
+    m = int(payload["m"])  # type: ignore[arg-type]
+    if m == 0:
+        return []
+    env = payload["env"]
+    scores = payload["scores"]
+    couplings = payload["couplings"]
+    blocked = payload["blocked"]
+    labels = payload["labels"]
+    return [
+        EnvelopeSet(
+            couplings=frozenset(couplings[r]),
+            env=env[r],
+            blocked=frozenset(blocked[r]),
+            score=float(scores[r]),
+            label=labels[r],
+        )
+        for r in range(m)
+    ]
+
+
+def pack_ilists(
+    ilists: Dict[int, List[EnvelopeSet]],
+    cards: Optional[Sequence[int]] = None,
+) -> Dict[int, Dict[str, object]]:
+    """Pack selected cardinalities of a victim's irredundant lists."""
+    wanted = sorted(ilists) if cards is None else cards
+    return {int(c): pack_sets(ilists.get(c, [])) for c in wanted}
+
+
+def unpack_ilists(
+    payload: Dict[int, Dict[str, object]],
+) -> Dict[int, List[EnvelopeSet]]:
+    return {int(c): unpack_sets(p) for c, p in payload.items()}

@@ -1,0 +1,163 @@
+"""Worker-process side of the wave scheduler.
+
+Each pool worker holds one long-lived :class:`~repro.core.engine.
+TopKEngine` replica, unpickled once by :func:`init_worker` from the
+snapshot the parent captured at pool creation (budget stripped — all
+budget enforcement stays in the parent, at wave granularity).  The
+replica carries the full design, every victim context, and a warm
+:class:`~repro.perf.memo.EnvelopeMemo`, so per-task payloads only need
+the *frontier* state a sweep reads:
+
+* the victim's own irredundant list at cardinality ``i - 1`` and its
+  single-aggressor atom pool,
+* fanin victims' lists at ``i`` (pseudo input aggressors — completed in
+  an earlier wave of the same pass),
+* aggressor victims' lists at ``i - 1`` (higher-order aggressors).
+
+Dependencies are shipped *unconditionally* (including empty lists), so
+any state a task reads is authoritative parent state — a replica's
+leftover lists from earlier chunks are always overwritten before use.
+Because candidate generation, batched scoring, and dominance reduction
+are deterministic and (within a wave) independent across victims, the
+returned lists are bit-identical to what the serial sweep produces.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from .memo import counter_delta, global_cache_stats
+from .snapshot import pack_sets, unpack_sets
+
+#: The per-process engine replica (set once by :func:`init_worker`).
+_ENGINE = None
+
+
+def init_worker(engine_bytes: bytes) -> None:
+    """Pool initializer: adopt the parent's engine snapshot."""
+    global _ENGINE
+    _ENGINE = pickle.loads(engine_bytes)
+
+
+def make_chunk_payload(
+    engine: Any,
+    nets: List[str],
+    i: int,
+) -> Dict[str, Any]:
+    """Parent side: build the self-contained payload for one chunk.
+
+    ``deps`` maps ``(net, cardinality)`` to a packed irredundant list
+    covering everything the chunk's sweeps read; ``atoms1`` ships each
+    victim's non-primary cardinality-1 atoms (the primaries are already
+    in the replica).
+    """
+    cfg = engine.config
+    deps: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    atoms1: Dict[str, Optional[Dict[str, Any]]] = {}
+    for net in nets:
+        ctx = engine.contexts[net]
+        if i >= 2:
+            deps[(net, i - 1)] = pack_sets(ctx.ilists.get(i - 1, []))
+            atoms1[net] = pack_sets(
+                [a for a in ctx.atoms1 if not a.label.startswith("primary:")]
+            )
+        else:
+            atoms1[net] = None
+        if cfg.use_pseudo:
+            for u in ctx.inputs:
+                if u in engine.contexts and (u, i) not in deps:
+                    deps[(u, i)] = pack_sets(
+                        engine.contexts[u].ilists.get(i, [])
+                    )
+        if cfg.use_higher_order and i >= 2:
+            for info in ctx.primary_info:
+                a = info.aggressor
+                if a in engine.contexts and (a, i - 1) not in deps:
+                    deps[(a, i - 1)] = pack_sets(
+                        engine.contexts[a].ilists.get(i - 1, [])
+                    )
+    return {
+        "i": i,
+        "beam_cap": engine._beam_cap,
+        "nets": list(nets),
+        "deps": deps,
+        "atoms1": atoms1,
+    }
+
+
+def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Sweep one chunk of same-wave victims on the worker's replica.
+
+    Returns the per-victim results plus the deltas the parent folds
+    back in: enumeration/stat counters, phase timings, cache hit/miss
+    counts, prune records (for certification), and frontier bytes.
+    """
+    engine = _ENGINE
+    assert engine is not None, "worker used before init_worker ran"
+    i = int(payload["i"])
+    engine._beam_cap = payload["beam_cap"]
+    for (net, card), packed in payload["deps"].items():
+        engine.contexts[net].ilists[card] = unpack_sets(packed)
+    for net, packed in payload["atoms1"].items():
+        if packed is not None:
+            ctx = engine.contexts[net]
+            ctx.atoms1 = list(ctx.primaries) + unpack_sets(packed)
+
+    # Baselines for the deltas this chunk produces.
+    from ..core.engine import _COUNTER_FIELDS
+
+    stats0 = {f: getattr(engine.stats, f) for f in _COUNTER_FIELDS}
+    phase0 = dict(engine.stats.phase_s)
+    memo0 = engine.memo.stats()
+    global0 = global_cache_stats()
+    frontier0 = engine.monitor.frontier_bytes
+    engine.prune_log.clear()
+
+    entries = []
+    with engine._phase("generate"):
+        for net in payload["nets"]:
+            ctx = engine.contexts[net]
+            cands = engine._generate(ctx, i)
+            if not cands:
+                ctx.ilists[i] = []
+            entries.append((ctx, cands))
+    with engine._phase("score"):
+        engine._score_chunk(entries)
+    with engine._phase("reduce"):
+        for ctx, cands in entries:
+            if cands:
+                engine._reduce(ctx, i, cands)
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for ctx, _cands in entries:
+        out: Dict[str, Any] = {"ilist": pack_sets(ctx.ilists[i])}
+        if i == 1:
+            out["atoms1"] = pack_sets(
+                [a for a in ctx.atoms1 if not a.label.startswith("primary:")]
+            )
+        results[ctx.net] = out
+
+    memo_delta = counter_delta(engine.memo.stats(), memo0)
+    global_delta = counter_delta(global_cache_stats(), global0)
+    cache_hits = {n: d["hits"] for n, d in {**memo_delta, **global_delta}.items()}
+    cache_misses = {
+        n: d["misses"] for n, d in {**memo_delta, **global_delta}.items()
+    }
+    phase_s = {
+        name: t - phase0.get(name, 0.0)
+        for name, t in engine.stats.phase_s.items()
+        if t - phase0.get(name, 0.0) > 0.0
+    }
+    return {
+        "i": i,
+        "results": results,
+        "stats": {
+            f: getattr(engine.stats, f) - stats0[f] for f in _COUNTER_FIELDS
+        },
+        "phase_s": phase_s,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "prunes": list(engine.prune_log),
+        "frontier_bytes": engine.monitor.frontier_bytes - frontier0,
+    }

@@ -11,6 +11,13 @@ the engine applies its policy (raise a structured
 :class:`~repro.runtime.errors.BudgetExceededError`, or walk the
 degradation ladder, see :mod:`repro.runtime.degrade`).
 
+Parallel solves (``TopKConfig.parallelism > 1``) keep all budget
+enforcement in the parent process: the wave scheduler ticks the monitor
+once per topological-level wave instead of once per victim, so caps are
+honored at wave granularity — a cap hit mid-wave is observed when the
+wave's results are merged.  Worker processes run with the budget
+stripped and only report resource deltas back.
+
 The monitor is also the seam for simulated deadline hits: when a fault
 injector is active, an injected ``deadline`` fault makes
 :meth:`RuntimeMonitor.deadline_exceeded` return True regardless of real

@@ -50,10 +50,13 @@ def design_fingerprint(design: Any, mode: str, config: Any) -> Dict[str, Any]:
 
     Only knobs that shape the enumeration state are included; oracle and
     budget knobs may differ between the interrupted and the resuming run
-    (that is the point of resuming with a larger deadline).  Certifying
-    runs additionally bind to the certificate format version, so a
-    resume across a format change fails loudly instead of producing an
-    unverifiable mixed-format certificate.
+    (that is the point of resuming with a larger deadline).
+    ``parallelism`` is deliberately excluded too: the wave-scheduled
+    sweep is bit-exact with the serial one, so a snapshot written by a
+    serial run may be resumed by a parallel run and vice versa.
+    Certifying runs additionally bind to the certificate format version,
+    so a resume across a format change fails loudly instead of producing
+    an unverifiable mixed-format certificate.
     """
     stats = design.stats()
     noise = config.noise

@@ -50,6 +50,13 @@ class ReproError(Exception):
         ctx = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
         return f"{self.message} [{ctx}]"
 
+    def __reduce__(self):
+        # Default Exception pickling replays only ``args`` (the bare
+        # message) and would drop the keyword context — errors raised in
+        # wave-scheduler worker processes must cross the process
+        # boundary with their net/phase context intact.
+        return (_rebuild_error, (type(self), self.message, self.context))
+
     @property
     def net(self) -> Optional[str]:
         """The victim/net the failure is attributed to, when known."""
@@ -59,6 +66,11 @@ class ReproError(Exception):
     def phase(self) -> Optional[str]:
         """The solve phase (``sweep``, ``score``, ``noise``, ...)."""
         return self.context.get("phase")
+
+
+def _rebuild_error(cls, message: str, context: Dict[str, Any]) -> "ReproError":
+    """Unpickle hook for :meth:`ReproError.__reduce__`."""
+    return cls(message, **context)
 
 
 class BudgetExceededError(ReproError):

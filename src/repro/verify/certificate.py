@@ -622,7 +622,10 @@ def emit_certificate(
             audit_armed=cfg.audit_dominance,
             resumed=engine.resumed_from is not None,
             degraded=solution.degraded,
-            stats=engine.stats.to_json(),
+            # Only the execution-order-independent enumeration counters:
+            # a parallel wave-scheduled solve certifies identically to
+            # the serial sweep (phase timings and cache counters do not).
+            stats=engine.stats.core_counters(),
         ),
         result=ResultRecord(
             couplings=tuple(sorted(result.couplings)),

@@ -1,0 +1,130 @@
+"""Serial vs wave-scheduled solves must agree bit-for-bit.
+
+The acceptance bar of the parallel engine: for any design and either
+mode, ``parallelism=1`` and ``parallelism=N`` produce identical top-k
+sets, identical solver-side delays, identical enumeration counters, and
+certificates the independent checker accepts.  Execution-shape fields
+(waves, parallel_tasks, cache counters, phase timings) legitimately
+differ and are excluded.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.circuit.generator import make_paper_benchmark, random_design
+from repro.core.engine import TopKConfig, TopKEngine
+from repro.runtime.budget import RunBudget
+from repro.verify import check_certificate
+
+MODES = ("addition", "elimination")
+
+DESIGNS = {
+    "mesh": lambda: random_design("mesh", n_gates=30, target_caps=60, seed=5),
+    "deep": lambda: random_design("deep", n_gates=40, target_caps=55, seed=23),
+}
+
+
+def _solve(design, mode, k=3, parallelism=1, **cfg_kwargs):
+    config = TopKConfig(parallelism=parallelism, **cfg_kwargs)
+    with warnings.catch_warnings():
+        # A pool-level fallback would still produce correct results but
+        # would silently stop exercising the parallel path; fail loudly.
+        warnings.simplefilter("error", RuntimeWarning)
+        with TopKEngine(design, mode, config) as engine:
+            solution = engine.solve(k)
+    return engine, solution
+
+
+def assert_solutions_equal(serial, parallel):
+    assert (serial.best is None) == (parallel.best is None)
+    if serial.best is not None:
+        assert serial.best.couplings == parallel.best.couplings
+        assert serial.best.score == parallel.best.score
+        assert serial.estimated_delay() == parallel.estimated_delay()
+    assert [c.couplings for c in serial.finalists] == [
+        c.couplings for c in parallel.finalists
+    ]
+    assert [c.score for c in serial.finalists] == [
+        c.score for c in parallel.finalists
+    ]
+    assert serial.stats.core_counters() == parallel.stats.core_counters()
+
+
+@pytest.mark.parametrize("design_name", sorted(DESIGNS))
+@pytest.mark.parametrize("mode", MODES)
+def test_parallel_matches_serial(design_name, mode):
+    design = DESIGNS[design_name]()
+    _, serial = _solve(design, mode, k=3, parallelism=1)
+    _, parallel = _solve(design, mode, k=3, parallelism=2)
+    assert_solutions_equal(serial, parallel)
+    # The parallel path really ran: waves were scheduled and worker
+    # chunks dispatched.
+    assert parallel.stats.waves > 0
+    assert parallel.stats.parallel_tasks > 0
+    assert serial.stats.parallel_tasks == 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_parallel_ilists_match_serial(mode):
+    design = DESIGNS["mesh"]()
+    e1, _ = _solve(design, mode, k=2, parallelism=1)
+    e2, _ = _solve(design, mode, k=2, parallelism=2)
+    for net, ctx1 in e1.contexts.items():
+        ctx2 = e2.contexts[net]
+        assert sorted(ctx1.ilists) == sorted(ctx2.ilists)
+        for card, lst1 in ctx1.ilists.items():
+            lst2 = ctx2.ilists[card]
+            assert [c.couplings for c in lst1] == [c.couplings for c in lst2]
+            assert [c.score for c in lst1] == [c.score for c in lst2]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_parallel_certificate_is_accepted(mode):
+    design = DESIGNS["mesh"]()
+    from repro.core.topk_addition import top_k_addition_set
+    from repro.core.topk_elimination import top_k_elimination_set
+
+    solver = top_k_addition_set if mode == "addition" else top_k_elimination_set
+    cfg = TopKConfig(parallelism=2, certify=True)
+    result = solver(design, 3, cfg)
+    assert result.certificate is not None
+    report = check_certificate(result.certificate, design=design)
+    assert report.ok, report.summary()
+
+
+def test_parallel_prune_log_matches_serial():
+    design = DESIGNS["mesh"]()
+    e1, _ = _solve(design, "addition", k=3, parallelism=1, audit_dominance=True)
+    e2, _ = _solve(design, "addition", k=3, parallelism=2, audit_dominance=True)
+    key = lambda r: (r.net, r.cardinality, r.dominator.couplings, r.dominated.couplings)  # noqa: E731
+    assert [key(r) for r in e1.prune_log] == [key(r) for r in e2.prune_log]
+
+
+def test_checkpoint_interop_serial_and_parallel(tmp_path):
+    """A snapshot written by a parallel run resumes in a serial run."""
+    design = DESIGNS["mesh"]()
+    path = str(tmp_path / "ckpt.json")
+    _, reference = _solve(design, "addition", k=3, parallelism=1)
+
+    budget = RunBudget(checkpoint_path=path, checkpoint_every_s=0.0)
+    _solve(design, "addition", k=2, parallelism=2, budget=budget)
+    # Resume the snapshot serially and finish the third cardinality.
+    eng_s = TopKEngine(
+        design, "addition", TopKConfig(parallelism=1, budget=budget)
+    )
+    assert eng_s.resumed_from == path
+    resumed = eng_s.solve(3)
+    assert_solutions_equal(reference, resumed)
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("mode", MODES)
+def test_parallel_matches_serial_paper_benchmark(mode):
+    """Benchmark-scale exactness on i1 (excluded from tier-1)."""
+    design = make_paper_benchmark("i1")
+    _, serial = _solve(design, mode, k=5, parallelism=2)
+    _, parallel = _solve(design, mode, k=5, parallelism=4)
+    assert_solutions_equal(serial, parallel)

@@ -1,0 +1,65 @@
+"""Wave partition: level structure, ordering, independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.generator import random_design
+from repro.core.engine import SINK
+from repro.perf.waves import build_waves, check_wave_independence
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    design = random_design("waves", n_gates=24, target_caps=30, seed=11)
+    return TimingGraph.from_netlist(design.netlist)
+
+
+class TestBuildWaves:
+    def test_partition_is_exact(self, graph):
+        waves = build_waves(graph)
+        nets = [n for w in waves for n in w.nets]
+        assert sorted(nets) == sorted(graph.topo_order)
+        assert len(nets) == len(set(nets))
+
+    def test_wave_order_is_topological(self, graph):
+        waves = build_waves(graph)
+        position = {
+            n: idx for idx, n in enumerate(n for w in waves for n in w.nets)
+        }
+        for net in graph.topo_order:
+            for u in graph.fanin.get(net, ()):
+                assert position[u] < position[net]
+
+    def test_levels_strictly_increase(self, graph):
+        waves = build_waves(graph)
+        levels = [w.level for w in waves]
+        assert levels == sorted(levels)
+        assert len(set(levels)) == len(levels)
+
+    def test_order_within_wave_is_stable(self, graph):
+        waves = build_waves(graph)
+        topo_pos = {n: i for i, n in enumerate(graph.topo_order)}
+        for wave in waves:
+            positions = [topo_pos[n] for n in wave.nets]
+            assert positions == sorted(positions)
+
+    def test_sink_is_own_final_wave(self, graph):
+        waves = build_waves(graph, sink=SINK)
+        assert waves[-1].nets == (SINK,)
+        assert waves[-1].level > waves[-2].level
+
+    def test_independence_check_passes(self, graph):
+        check_wave_independence(graph, build_waves(graph))
+
+    def test_independence_check_catches_violation(self, graph):
+        from repro.perf.waves import Wave
+
+        # Fabricate a wave holding a net together with one of its fanins.
+        victim = next(
+            n for n in graph.topo_order if graph.fanin.get(n)
+        )
+        bad = Wave(level=0, nets=(victim,) + tuple(graph.fanin[victim])[:1])
+        with pytest.raises(ValueError, match="fanin"):
+            check_wave_independence(graph, [bad])
