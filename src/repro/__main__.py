@@ -6,7 +6,9 @@
 * ``python -m repro certify ...`` — the proof-carrying certifier (same
   as ``repro-certify``);
 * ``python -m repro bench ...`` — the benchmark/regression-gate runner
-  (same as ``repro-bench``).
+  (same as ``repro-bench``);
+* ``python -m repro trace ...`` — the solve tracer (same as
+  ``repro-trace``).
 """
 
 from __future__ import annotations
@@ -29,6 +31,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .perf.bench import main as bench_main
 
         return bench_main(args[1:])
+    if args and args[0] == "trace":
+        from .obs.cli import main as trace_main
+
+        return trace_main(args[1:])
     if args and args[0] == "topk":
         args = args[1:]
     from .cli import main as topk_main

@@ -40,6 +40,7 @@ def analyze(
     max_candidates: Optional[int] = None,
     convergence_retries: Optional[int] = None,
     parallelism: Optional[int] = None,
+    trace: Union[None, bool, str] = None,
 ) -> TopKResult:
     """Compute the top-k aggressor set of either flavor.
 
@@ -84,6 +85,15 @@ def analyze(
         Worker processes for the wave-scheduled sweep (folded into the
         config; ``1`` = serial).  Results are bit-exact with the serial
         path at any setting; see ``docs/performance.md``.
+    trace:
+        Record a span trace of the solve (see ``docs/observability.md``):
+
+        * ``None`` / ``False`` — off (the default, zero-cost);
+        * ``True`` — record, attaching the
+          :class:`~repro.obs.Trace` as ``result.trace``;
+        * a path string — record *and* save to that file on the way out
+          (``.jsonl`` → JSON-lines, anything else → Chrome trace_event,
+          loadable at ``ui.perfetto.dev``).
 
     >>> from repro import make_paper_benchmark, analyze
     >>> result = analyze(make_paper_benchmark("i1"), k=3)
@@ -125,9 +135,13 @@ def analyze(
         base_cfg = config if config is not None else AnalysisConfig()
         if base_cfg.parallelism != parallelism:
             config = replace(base_cfg, parallelism=parallelism)
+    if trace:
+        base_cfg = config if config is not None else AnalysisConfig()
+        if not base_cfg.trace:
+            config = replace(base_cfg, trace=True)
     solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
     if lint in (None, False):
-        return _checked(solver(design, k, config), design, certify)
+        return _checked(solver(design, k, config), design, certify, trace)
 
     from .lint import LintConfig, assert_clean, run_lint
 
@@ -140,13 +154,13 @@ def analyze(
     )
     assert_clean(report)
     if lint != "audit":
-        result = _checked(solver(design, k, cfg), design, certify)
+        result = _checked(solver(design, k, cfg), design, certify, trace)
         return replace(result, lint_report=report)
 
     audit_cfg = replace(cfg, audit_dominance=True)
     engine = TopKEngine(design, mode, audit_cfg)
     result = _checked(
-        solver(design, k, audit_cfg, engine=engine), design, certify
+        solver(design, k, audit_cfg, engine=engine), design, certify, trace
     )
     audit_report = run_lint(design, engine=engine, categories=("audit",))
     report = report.merged_with(audit_report)
@@ -154,20 +168,30 @@ def analyze(
     return replace(result, lint_report=report)
 
 
-def _checked(result: TopKResult, design: Design, certify: bool) -> TopKResult:
-    """Validate the attached certificate with the independent checker."""
-    if not certify or result.certificate is None:
-        return result
-    from .runtime.errors import CertificateError
-    from .verify import check_certificate
+def _checked(
+    result: TopKResult,
+    design: Design,
+    certify: bool,
+    trace: Union[None, bool, str] = None,
+) -> TopKResult:
+    """Validate the attached certificate with the independent checker,
+    then write the trace out if ``trace`` named a file."""
+    if certify and result.certificate is not None:
+        from .obs.tracer import activate as _obs_activate
+        from .runtime.errors import CertificateError
+        from .verify import check_certificate
 
-    report = check_certificate(result.certificate, design=design)
-    if not report.ok:
-        raise CertificateError(
-            f"the solve's certificate was rejected: {report.summary()}",
-            findings=[str(f) for f in report.errors],
-            phase="certify",
-        )
+        tracer = result.trace.tracer if result.trace is not None else None
+        with _obs_activate(tracer):
+            report = check_certificate(result.certificate, design=design)
+        if not report.ok:
+            raise CertificateError(
+                f"the solve's certificate was rejected: {report.summary()}",
+                findings=[str(f) for f in report.errors],
+                phase="certify",
+            )
+    if isinstance(trace, str) and result.trace is not None:
+        result.trace.save(trace)
     return result
 
 

@@ -119,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a span trace of the solve and write it to PATH "
+            "(.jsonl = JSON-lines, else Chrome trace_event; see "
+            "docs/observability.md and repro-trace for more)"
+        ),
+    )
+    parser.add_argument(
         "--lint",
         choices=("preflight", "audit"),
         default=None,
@@ -234,8 +244,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_path=args.checkpoint,
         max_candidates=args.max_candidates,
         convergence_retries=args.convergence_retries,
+        trace=args.trace,
     )
     print(result.summary())
+    if args.trace is not None:
+        print(f"trace written to {args.trace}")
     if result.degraded and result.degradation is not None:
         print(f"degraded: {result.degradation.summary()}")
     if result.lint_report is not None:

@@ -11,6 +11,7 @@ from .engine import SolveStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lint.framework import LintReport
+    from ..obs.trace import Trace
     from ..verify.certificate import Certificate
 
 
@@ -72,6 +73,11 @@ class TopKResult:
         The proof-carrying :class:`~repro.verify.Certificate` of the
         solve when the query ran with ``certify=True``; ``None``
         otherwise.  See ``docs/verification.md``.
+    trace:
+        The :class:`~repro.obs.Trace` of the solve (span tree, unified
+        metrics, optional sampling profile) when the query ran with
+        ``trace=True``; ``None`` otherwise.  See
+        ``docs/observability.md``.
     """
 
     mode: str
@@ -88,6 +94,7 @@ class TopKResult:
     degraded: bool = False
     degradation: Optional[DegradationReport] = None
     certificate: Optional["Certificate"] = None
+    trace: Optional["Trace"] = None
 
     @property
     def effective_k(self) -> int:

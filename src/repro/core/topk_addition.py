@@ -136,12 +136,14 @@ def _result_from_solution(
         degradation=solution.degradation,
     )
     if engine.config.certify:
+        from ..obs.tracer import activate as _obs_activate
         from ..verify.certificate import emit_certificate
 
-        result = replace(
-            result,
-            certificate=emit_certificate(
+        with _obs_activate(engine.tracer):
+            certificate = emit_certificate(
                 engine, solution, result, oracle_traces
-            ),
-        )
+            )
+        result = replace(result, certificate=certificate)
+    if engine.config.trace:
+        result = replace(result, trace=engine.solve_trace())
     return result

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 from ..circuit.coupling import CouplingGraph, CouplingView
 from ..circuit.design import Design
 from ..circuit.netlist import Netlist
+from ..obs.tracer import span as _span
 from ..runtime import faultinject
 from ..runtime.budget import RuntimeMonitor
 from ..runtime.errors import ReproError
@@ -251,49 +252,58 @@ def analyze_noise(
     history: List[float] = []
     trace: List[Dict[str, float]] = []
     site = f"noise:{netlist.name}"
-    for iteration in range(config.max_iterations):
-        if monitor is not None and monitor.exhausted_noise(site):
-            break
-        iterations = iteration + 1
-        timing = run_sta(netlist, graph, extra_delay=extra)
-        pessimistic_seed = config.start == "pessimistic" and iteration == 0
-        override = None
-        if pessimistic_seed:
-            override = {
-                n: infinite_window(horizon) for n in netlist.nets
-            }
-        new_extra: Dict[str, float] = {}
-        for victim in graph.topo_order:
-            envelopes = victim_envelopes(
-                netlist, coupling, victim, timing,
-                aggressor_windows=override, config=config,
-            )
-            if not envelopes:
-                continue
-            # The victim's own bump must not be part of its nominal t50.
-            t50 = timing.lat(victim) - extra.get(victim, 0.0)
-            dn = delay_noise(
-                t50,
-                timing.slew_late(victim),
-                envelopes,
-                n=config.grid_points,
-            )
-            if dn > 0.0:
-                new_extra[victim] = dn
-        if config.damping > 0.0 and not pessimistic_seed:
-            new_extra = _blend(extra, new_extra, config.damping)
-        delta = _max_change(extra, new_extra)
-        if faultinject._ACTIVE is not None and faultinject._ACTIVE.fires(
-            "no_convergence", site
-        ):
-            delta = max(delta, 10.0 * config.tolerance_ns, 1e-9)
-        history.append(delta)
-        if config.record_trace:
-            trace.append(dict(new_extra))
-        extra = new_extra
-        if delta <= config.tolerance_ns and iteration > 0:
-            converged = True
-            break
+    with _span(
+        "noise.fixpoint", design=netlist.name, start=config.start
+    ) as fp_span:
+        for iteration in range(config.max_iterations):
+            if monitor is not None and monitor.exhausted_noise(site):
+                break
+            iterations = iteration + 1
+            with _span("noise.iteration", n=iterations) as it_span:
+                timing = run_sta(netlist, graph, extra_delay=extra)
+                pessimistic_seed = (
+                    config.start == "pessimistic" and iteration == 0
+                )
+                override = None
+                if pessimistic_seed:
+                    override = {
+                        n: infinite_window(horizon) for n in netlist.nets
+                    }
+                new_extra: Dict[str, float] = {}
+                for victim in graph.topo_order:
+                    envelopes = victim_envelopes(
+                        netlist, coupling, victim, timing,
+                        aggressor_windows=override, config=config,
+                    )
+                    if not envelopes:
+                        continue
+                    # The victim's own bump must not be part of its
+                    # nominal t50.
+                    t50 = timing.lat(victim) - extra.get(victim, 0.0)
+                    dn = delay_noise(
+                        t50,
+                        timing.slew_late(victim),
+                        envelopes,
+                        n=config.grid_points,
+                    )
+                    if dn > 0.0:
+                        new_extra[victim] = dn
+                if config.damping > 0.0 and not pessimistic_seed:
+                    new_extra = _blend(extra, new_extra, config.damping)
+                delta = _max_change(extra, new_extra)
+                if faultinject._ACTIVE is not None and (
+                    faultinject._ACTIVE.fires("no_convergence", site)
+                ):
+                    delta = max(delta, 10.0 * config.tolerance_ns, 1e-9)
+                history.append(delta)
+                it_span.set(delta=delta)
+                if config.record_trace:
+                    trace.append(dict(new_extra))
+                extra = new_extra
+            if delta <= config.tolerance_ns and iteration > 0:
+                converged = True
+                break
+        fp_span.set(iterations=iterations, converged=converged)
     if not converged and config.strict:
         raise ConvergenceError(
             f"noise analysis did not converge in {config.max_iterations} "

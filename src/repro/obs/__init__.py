@@ -1,0 +1,55 @@
+"""Observability: span tracing, metrics, and profiling for the solver.
+
+See ``docs/observability.md``.  Quick start::
+
+    from repro import analyze, make_paper_benchmark
+    result = analyze(make_paper_benchmark("i1"), k=3, trace=True)
+    result.trace.save("trace.json")        # open in ui.perfetto.dev
+    print(result.trace.summary())
+
+or from the shell: ``repro-trace --benchmark i1 --k 3 --format chrome``.
+"""
+
+from .export import (
+    chrome_document,
+    chrome_events,
+    combine_chrome,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from .metrics import Histogram, MetricsRegistry
+from .profile import ProfileReport, SamplingProfiler
+from .trace import Trace
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    iter_tree,
+    span,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "Trace",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileReport",
+    "SamplingProfiler",
+    "activate",
+    "current_tracer",
+    "span",
+    "iter_tree",
+    "chrome_document",
+    "chrome_events",
+    "combine_chrome",
+    "read_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]

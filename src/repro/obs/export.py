@@ -1,0 +1,149 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+The Chrome format (one JSON object with a ``traceEvents`` array of
+complete ``"ph": "X"`` events, timestamps in microseconds) loads
+directly in Perfetto (https://ui.perfetto.dev) and in
+``chrome://tracing``; see ``docs/observability.md`` for a walkthrough.
+JSON-lines keeps one span per line for ad-hoc ``jq``/pandas analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .tracer import NullTracer, Span, Tracer
+
+#: Chrome trace_event timestamps are integer-ish microseconds.
+_US = 1e6
+
+
+def _span_list(trace: Union[Tracer, NullTracer, Sequence[Span]]) -> List[Span]:
+    spans = trace.spans if hasattr(trace, "spans") else list(trace)
+    return sorted(spans, key=lambda s: s.t0)
+
+
+def chrome_events(
+    trace: Union[Tracer, NullTracer, Sequence[Span]],
+    pid: int = 1,
+    process_name: Optional[str] = None,
+    t_base: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Render spans as Chrome ``trace_event`` dicts.
+
+    Each distinct ``span.worker`` becomes one thread lane (``tid``),
+    named via ``thread_name`` metadata events; ``t_base`` (default: the
+    earliest span start) anchors timestamp zero.
+    """
+    spans = _span_list(trace)
+    events: List[Dict[str, Any]] = []
+    if process_name is not None:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+    if not spans:
+        return events
+    if t_base is None:
+        t_base = min(s.t0 for s in spans)
+    tids: Dict[str, int] = {}
+    for span in spans:
+        if span.worker not in tids:
+            tid = tids[span.worker] = len(tids)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": span.worker},
+                }
+            )
+    for span in spans:
+        t1 = span.t1 if span.t1 is not None else span.t0
+        events.append(
+            {
+                "name": span.name,
+                "cat": str(span.attrs.get("cat", "solve")),
+                "ph": "X",
+                "ts": (span.t0 - t_base) * _US,
+                "dur": max(0.0, (t1 - span.t0) * _US),
+                "pid": pid,
+                "tid": tids[span.worker],
+                "args": {k: v for k, v in span.attrs.items() if k != "cat"},
+            }
+        )
+    return events
+
+
+def chrome_document(
+    trace: Union[Tracer, NullTracer, Sequence[Span]],
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The full Chrome/Perfetto JSON object for one trace."""
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_events(trace),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        doc["otherData"] = {"metrics": dict(metrics)}
+    return doc
+
+
+def combine_chrome(named_traces: Mapping[str, Any]) -> Dict[str, Any]:
+    """Merge several traces into one document, one ``pid`` per trace.
+
+    ``named_traces`` maps a label (shown as the process name) to a
+    :class:`~repro.obs.trace.Trace`, a tracer, or a span list.  Used by
+    ``repro-bench --trace`` to ship every benchmark solve in one file.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, (label, trace) in enumerate(named_traces.items(), start=1):
+        spans = getattr(trace, "tracer", trace)
+        events.extend(chrome_events(spans, pid=pid, process_name=label))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(
+    trace: Union[Tracer, NullTracer, Sequence[Span]],
+    path: str,
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_document(trace, metrics=metrics), fh)
+        fh.write("\n")
+
+
+def jsonl_lines(trace: Union[Tracer, NullTracer, Sequence[Span]]) -> List[str]:
+    """One JSON object per span, start-ordered, times in seconds."""
+    spans = _span_list(trace)
+    t_base = min((s.t0 for s in spans), default=0.0)
+    return [json.dumps(s.to_json(epoch=t_base), sort_keys=True) for s in spans]
+
+
+def write_jsonl(
+    trace: Union[Tracer, NullTracer, Sequence[Span]],
+    path_or_file: Union[str, IO[str]],
+) -> None:
+    lines = jsonl_lines(trace)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        path_or_file.write("\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Round-trip loader for the JSON-lines format."""
+    spans: List[Span] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_json(json.loads(line)))
+    return spans

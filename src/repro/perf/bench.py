@@ -54,6 +54,7 @@ class BenchCircuit:
     waves: int
     parallel_tasks: int
     cache_rates: Dict[str, float] = field(default_factory=dict)
+    phase_s: Dict[str, float] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return asdict(self)
@@ -110,20 +111,26 @@ def _host_info() -> Dict[str, Any]:
     }
 
 
-def _solve_once(name: str, mode: str, k: int, parallelism: int):
-    """One timed engine build + solve (oracle off); returns (seconds, result)."""
+def _solve_once(name: str, mode: str, k: int, parallelism: int, trace: bool = False):
+    """One timed engine build + solve (oracle off).
+
+    Returns ``(seconds, solution, trace_or_None)``; ``trace=True`` also
+    records the observability bundle (slightly perturbing the timing —
+    the regression gate only ever sees untraced runs).
+    """
     from ..circuit.generator import make_paper_benchmark
     from ..core.engine import TopKConfig, TopKEngine
 
     design = make_paper_benchmark(name)
     config = TopKConfig(
-        evaluate_with_oracle=False, parallelism=parallelism
+        evaluate_with_oracle=False, parallelism=parallelism, trace=trace
     )
     t0 = time.perf_counter()
     with TopKEngine(design, mode, config) as engine:
         solution = engine.solve(k)
         elapsed = time.perf_counter() - t0
-    return elapsed, solution
+        solve_trace = engine.solve_trace() if trace else None
+    return elapsed, solution, solve_trace
 
 
 def run_bench(
@@ -144,11 +151,13 @@ def run_bench(
     )
     for name in circuits:
         for mode in MODES:
-            serial_s, serial = _solve_once(name, mode, k, parallelism=1)
+            serial_s, serial, _ = _solve_once(name, mode, k, parallelism=1)
             parallel_s: Optional[float] = None
             speedup: Optional[float] = None
             if parallelism > 1:
-                parallel_s, parallel = _solve_once(name, mode, k, parallelism)
+                parallel_s, parallel, _ = _solve_once(
+                    name, mode, k, parallelism
+                )
                 _check_equal(name, mode, serial, parallel)
                 speedup = serial_s / parallel_s if parallel_s > 0 else None
             stats = serial.stats
@@ -173,6 +182,9 @@ def run_bench(
                 cache_rates={
                     c: round(r, 4) for c, r in stats.cache_rates().items()
                 },
+                phase_s={
+                    p: round(s, 4) for p, s in sorted(stats.phase_s.items())
+                },
             )
             report.circuits.append(entry)
             log(
@@ -185,6 +197,34 @@ def run_bench(
                 )
             )
     return report
+
+
+def trace_bench(
+    circuits: Sequence[str],
+    k: int = 5,
+    parallelism: int = 4,
+    log=print,
+) -> Dict[str, Any]:
+    """One traced (untimed) solve per (circuit, mode), merged into a
+    single Chrome trace document — one ``pid`` lane per solve.
+
+    Run *after* the timed measurements so tracing overhead never touches
+    the regression gate's numbers.
+    """
+    from ..obs.export import combine_chrome
+
+    traces: Dict[str, Any] = {}
+    for name in circuits:
+        for mode in MODES:
+            _, _, solve_trace = _solve_once(
+                name, mode, k, parallelism=parallelism, trace=True
+            )
+            traces[f"{name}/{mode}"] = solve_trace
+            log(
+                f"traced {name}/{mode}: "
+                f"{len(solve_trace.spans)} span(s)"
+            )
+    return combine_chrome(traces)
 
 
 def _check_equal(name: str, mode: str, serial, parallel) -> None:
@@ -308,6 +348,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=f"serial-time regression gate percent "
         f"(default {DEFAULT_GATE_PCT:.0f} or $REPRO_BENCH_GATE_PCT)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "after the timed runs, trace one solve per (circuit, mode) "
+            "and write the merged Chrome trace here (ui.perfetto.dev)"
+        ),
+    )
     args = parser.parse_args(argv)
     circuits = FULL_CIRCUITS if args.full else QUICK_CIRCUITS
     report = run_bench(
@@ -318,12 +367,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     report.save(args.output)
     print(f"wrote {args.output} ({len(report.circuits)} entries)")
+    status = 0
     if args.check is not None:
         baseline = BenchReport.load(args.check)
         failures = compare(baseline, report, gate_pct=args.gate_pct)
         if failures:
-            return 1
-    return 0
+            status = 1
+    if args.trace is not None:
+        doc = trace_bench(
+            circuits, k=args.k, parallelism=args.parallelism
+        )
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        print(f"wrote merged Chrome trace to {args.trace}")
+    return status
 
 
 if __name__ == "__main__":

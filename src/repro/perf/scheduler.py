@@ -21,12 +21,15 @@ enforcement stays in the parent and runs once per wave.
 from __future__ import annotations
 
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
 from ..runtime.budget import RuntimeMonitor
 from ..runtime.errors import ReproError
 from .snapshot import unpack_sets
@@ -81,6 +84,11 @@ class WaveScheduler:
         clone.stats = SolveStats()
         clone.prune_log = []
         clone.degradation = None
+        # Workers start from clean observability state: each chunk
+        # builds its own tracer/registry and ships the deltas back.
+        clone.tracer = NULL_TRACER
+        clone.metrics = MetricsRegistry()
+        clone.profiler = None
         return pickle.dumps(clone)
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
@@ -123,10 +131,14 @@ class WaveScheduler:
             # the serial per-victim tick; see docs/performance.md).
             eng._tick(nets[0], i, phase="wave")
             eng.stats.waves += 1
-            if len(nets) < 2 or self._broken or self._ensure_pool() is None:
-                self._sweep_serial(nets, i)
-                continue
-            self._run_wave(nets, i)
+            with eng.tracer.span(
+                "wave", level=wave.level, nets=len(nets), i=i
+            ):
+                eng.metrics.observe("wave.nets", len(nets))
+                if len(nets) < 2 or self._broken or self._ensure_pool() is None:
+                    self._sweep_serial(nets, i)
+                    continue
+                self._run_wave(nets, i)
 
     def _sweep_serial(self, nets: Sequence[str], i: int) -> None:
         eng = self.engine
@@ -141,17 +153,18 @@ class WaveScheduler:
         pending: List = []
         for chunk in chunks:
             if self._broken:
-                pending.append((chunk, None))
+                pending.append((chunk, None, 0.0))
                 continue
             try:
                 payload = make_chunk_payload(eng, chunk, i)
-                pending.append((chunk, pool.submit(run_chunk, payload)))
+                submitted = time.perf_counter()
+                pending.append((chunk, pool.submit(run_chunk, payload), submitted))
             except (BrokenProcessPool, RuntimeError, OSError) as exc:
                 self._mark_broken(exc)
-                pending.append((chunk, None))
+                pending.append((chunk, None, 0.0))
         # Merge in submission order: every victim, stat delta, and prune
         # record lands in the same order the serial sweep would produce.
-        for chunk, future in pending:
+        for chunk, future, submitted in pending:
             if future is None:
                 self._sweep_serial(chunk, i)
                 continue
@@ -163,10 +176,10 @@ class WaveScheduler:
                 self._mark_broken(exc)
                 self._sweep_serial(chunk, i)
                 continue
-            self._merge(result, i)
+            self._merge(result, i, submitted)
             eng.stats.parallel_tasks += 1
 
-    def _merge(self, result: Dict[str, Any], i: int) -> None:
+    def _merge(self, result: Dict[str, Any], i: int, submitted: float) -> None:
         eng = self.engine
         for net, out in result["results"].items():
             ctx = eng.contexts[net]
@@ -175,9 +188,27 @@ class WaveScheduler:
                 ctx.atoms1 = list(ctx.primaries) + unpack_sets(out["atoms1"])
         for name, delta in result["stats"].items():
             setattr(eng.stats, name, getattr(eng.stats, name) + delta)
-        phases = eng.stats.phase_s
-        for name, seconds in result["phase_s"].items():
-            phases[name] = phases.get(name, 0.0) + seconds
+        # The worker's metrics delta (phase seconds, histograms) folds
+        # into the parent registry — phase_s totals therefore cover the
+        # workers' compute, exactly as the old per-chunk accounting did.
+        eng.metrics.merge(result["metrics"])
+        if result.get("spans"):
+            # Re-base the worker's epoch-relative spans onto the parent
+            # clock, anchored at the chunk's submission instant, nested
+            # under one "chunk" span inside the current wave span.
+            received = time.perf_counter()
+            with eng.tracer.span(
+                "chunk",
+                worker=result.get("worker", "?"),
+                nets=len(result["results"]),
+                i=i,
+            ) as chunk_span:
+                eng.tracer.adopt(
+                    result["spans"], offset=submitted, parent=chunk_span
+                )
+            # The chunk's true interval is submission -> result pickup.
+            chunk_span.t0 = submitted
+            chunk_span.t1 = received
         for name, count in result["cache_hits"].items():
             eng._worker_cache_hits[name] = (
                 eng._worker_cache_hits.get(name, 0) + count

@@ -24,9 +24,12 @@ returned lists are bit-identical to what the serial sweep produces.
 
 from __future__ import annotations
 
+import os
 import pickle
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .memo import counter_delta, global_cache_stats
 from .snapshot import pack_sets, unpack_sets
 
@@ -83,6 +86,7 @@ def make_chunk_payload(
         "nets": list(nets),
         "deps": deps,
         "atoms1": atoms1,
+        "trace": engine.tracer.enabled,
     }
 
 
@@ -104,11 +108,18 @@ def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
             ctx = engine.contexts[net]
             ctx.atoms1 = list(ctx.primaries) + unpack_sets(packed)
 
-    # Baselines for the deltas this chunk produces.
+    # Baselines for the deltas this chunk produces.  Observability state
+    # is rebuilt per chunk: with a fresh registry the whole registry *is*
+    # the delta, and a fresh tracer keeps span ids chunk-local (the
+    # parent remaps them on adoption).
     from ..core.engine import _COUNTER_FIELDS
 
     stats0 = {f: getattr(engine.stats, f) for f in _COUNTER_FIELDS}
-    phase0 = dict(engine.stats.phase_s)
+    worker_label = f"worker-{os.getpid()}"
+    engine.metrics = MetricsRegistry()
+    engine.tracer = (
+        Tracer(worker=worker_label) if payload.get("trace") else NULL_TRACER
+    )
     memo0 = engine.memo.stats()
     global0 = global_cache_stats()
     frontier0 = engine.monitor.frontier_bytes
@@ -144,18 +155,19 @@ def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
     cache_misses = {
         n: d["misses"] for n, d in {**memo_delta, **global_delta}.items()
     }
-    phase_s = {
-        name: t - phase0.get(name, 0.0)
-        for name, t in engine.stats.phase_s.items()
-        if t - phase0.get(name, 0.0) > 0.0
-    }
     return {
         "i": i,
         "results": results,
         "stats": {
             f: getattr(engine.stats, f) - stats0[f] for f in _COUNTER_FIELDS
         },
-        "phase_s": phase_s,
+        "metrics": engine.metrics.to_json(),
+        "spans": (
+            engine.tracer.export(relative=True)
+            if engine.tracer.enabled
+            else []
+        ),
+        "worker": worker_label,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "prunes": list(engine.prune_log),

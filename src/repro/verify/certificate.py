@@ -40,6 +40,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs.tracer import span as _span
 from ..runtime import faultinject
 from ..runtime.errors import CertificateError
 from .intervals import DelayBounds, propagate_delay_bounds
@@ -515,6 +516,24 @@ def emit_certificate(
     armed injector may scale a recorded dominator envelope, modelling a
     witness-recording bug the independent checker must catch.
     """
+    with _span(
+        "certificate.emit", mode=engine.mode, k=solution.k
+    ) as cert_span:
+        cert = _emit_certificate(engine, solution, result, oracle_traces)
+        cert_span.set(
+            witnesses=len(cert.witnesses),
+            victims=len(cert.victims),
+            fixpoints=len(cert.fixpoints),
+        )
+    return cert
+
+
+def _emit_certificate(
+    engine: "TopKEngine",
+    solution: "EngineSolution",
+    result: "TopKResult",
+    oracle_traces: Sequence[Tuple[str, "NoiseResult"]] = (),
+) -> Certificate:
     from .. import __version__
 
     cfg = engine.config

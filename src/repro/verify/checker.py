@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.tracer import span as _span
 from .certificate import (
     CERTIFICATE_FORMAT_VERSION,
     Certificate,
@@ -606,13 +607,23 @@ def check_certificate(
     recomputed from scratch and compared (that part is O(design)).
     """
     checker = _Checker(cert)
-    if checker.check_format():
-        checker.check_structure()
-        checker.check_witnesses()
-        checker.check_frontiers()
-        checker.check_fixpoints()
-        checker.check_containment()
-        if design is not None:
-            checker.check_against_design(design)
-        checker.check_coverage()
+    with _span(
+        "certificate.check", witnesses=len(cert.witnesses)
+    ) as check_span:
+        if checker.check_format():
+            checker.check_structure()
+            with _span("check.witnesses"):
+                checker.check_witnesses()
+            with _span("check.frontiers"):
+                checker.check_frontiers()
+            with _span("check.fixpoints"):
+                checker.check_fixpoints()
+            checker.check_containment()
+            if design is not None:
+                with _span("check.design"):
+                    checker.check_against_design(design)
+            checker.check_coverage()
+        check_span.set(
+            ok=checker.report.ok, findings=len(checker.report.findings)
+        )
     return checker.report

@@ -1,0 +1,79 @@
+"""``repro-trace`` CLI tests (plus the ``python -m repro trace`` route)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.cli import main as trace_main
+
+
+def _args(*extra: str) -> list:
+    return ["--gates", "25", "--seed", "7", "--k", "2", *extra]
+
+
+def test_chrome_output_is_perfetto_shaped(tmp_path, capsys):
+    out = str(tmp_path / "trace.json")
+    assert trace_main(_args("--format", "chrome", "--output", out)) == 0
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {"name", "ts", "dur", "pid", "tid"} <= set(complete[0])
+    assert {e["name"] for e in complete} >= {"solve", "cardinality", "sweep"}
+    assert "metrics" in doc.get("otherData", {})
+    assert "perfetto" in capsys.readouterr().out
+
+
+def test_jsonl_output_round_trips(tmp_path):
+    from repro.obs.export import read_jsonl
+
+    out = str(tmp_path / "trace.jsonl")
+    assert trace_main(_args("--format", "jsonl", "--output", out)) == 0
+    spans = read_jsonl(out)
+    assert spans and any(s.name == "solve" for s in spans)
+
+
+def test_summary_output_prints_tree(capsys):
+    assert trace_main(_args("--format", "summary")) == 0
+    text = capsys.readouterr().out
+    assert "solve" in text
+    assert "phase totals:" in text
+    assert "ms" in text
+
+
+def test_stdout_output(capsys):
+    assert trace_main(_args("--format", "chrome", "--output", "-")) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "traceEvents" in doc
+
+
+def test_profile_flag_adds_profiler_lines(capsys):
+    assert trace_main(_args("--format", "summary", "--profile")) == 0
+    assert "profiler:" in capsys.readouterr().out
+
+
+def test_module_dispatch_routes_trace(tmp_path):
+    from repro.__main__ import main as module_main
+
+    out = str(tmp_path / "t.json")
+    code = module_main(
+        ["trace", "--gates", "25", "--seed", "7", "--k", "1", "--output", out]
+    )
+    assert code == 0
+    with open(out, encoding="utf-8") as fh:
+        assert json.load(fh)["traceEvents"]
+
+
+def test_topk_cli_trace_flag(tmp_path, capsys):
+    from repro.cli import main as topk_main
+
+    out = str(tmp_path / "solve-trace.json")
+    code = topk_main(
+        ["--gates", "25", "--seed", "7", "--k", "2", "--trace", out]
+    )
+    assert code == 0
+    with open(out, encoding="utf-8") as fh:
+        assert json.load(fh)["traceEvents"]
+    assert f"trace written to {out}" in capsys.readouterr().out

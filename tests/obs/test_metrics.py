@@ -1,0 +1,106 @@
+"""Metrics registry unit tests: counters, gauges, histograms, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.counter_add("phase_s.score", 0.5)
+    reg.counter_add("phase_s.score", 0.25)
+    reg.counter_add("checkpoint.writes")
+    assert reg.counter("phase_s.score") == pytest.approx(0.75)
+    assert reg.counter("checkpoint.writes") == 1.0
+    assert reg.counter("never-touched") == 0.0
+
+
+def test_phase_seconds_strips_prefix_and_resets():
+    reg = MetricsRegistry()
+    reg.counter_add("phase_s.generate", 1.0)
+    reg.counter_add("phase_s.score", 2.0)
+    reg.counter_add("other.counter", 9.0)
+    assert reg.phase_seconds() == {"generate": 1.0, "score": 2.0}
+    reg.reset_phases({"reduce": 3.0})
+    assert reg.phase_seconds() == {"reduce": 3.0}
+    # Non-phase counters survive a phase reset (checkpoint restore).
+    assert reg.counter("other.counter") == 9.0
+
+
+def test_gauges_overwrite():
+    reg = MetricsRegistry()
+    reg.gauge_set("stats.victims", 10)
+    reg.gauge_set("stats.victims", 12)
+    assert reg.gauges["stats.victims"] == 12
+
+
+def test_histogram_observe_and_stats():
+    hist = Histogram()
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.total == pytest.approx(6.0)
+    assert hist.vmin == 1.0
+    assert hist.vmax == 3.0
+    assert hist.mean == pytest.approx(2.0)
+
+
+def test_histogram_merge_is_associative_on_stats():
+    a, b = Histogram(), Histogram()
+    for v in (1.0, 5.0):
+        a.observe(v)
+    for v in (2.0, 10.0, 0.5):
+        b.observe(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.total == pytest.approx(18.5)
+    assert a.vmin == 0.5
+    assert a.vmax == 10.0
+
+
+def test_registry_merge_semantics():
+    parent = MetricsRegistry()
+    parent.counter_add("phase_s.score", 1.0)
+    parent.gauge_set("stats.victims", 4)
+    parent.observe("score.rows", 10)
+
+    worker = MetricsRegistry()
+    worker.counter_add("phase_s.score", 0.5)
+    worker.counter_add("phase_s.generate", 0.1)
+    worker.gauge_set("worker.flag", 1)
+    worker.observe("score.rows", 30)
+
+    parent.merge(worker.to_json())
+    # Counters add, gauges overwrite/insert, histograms merge.
+    assert parent.counter("phase_s.score") == pytest.approx(1.5)
+    assert parent.counter("phase_s.generate") == pytest.approx(0.1)
+    assert parent.gauges["stats.victims"] == 4
+    assert parent.gauges["worker.flag"] == 1
+    hist = parent.histograms["score.rows"]
+    assert hist.count == 2
+    assert hist.vmax == 30
+
+
+def test_registry_json_round_trip():
+    reg = MetricsRegistry()
+    reg.counter_add("phase_s.build", 0.125)
+    reg.gauge_set("cache.memo.hits", 42)
+    reg.observe("reduce.candidates", 17)
+    back = MetricsRegistry.from_json(reg.to_json())
+    assert back.counter("phase_s.build") == pytest.approx(0.125)
+    assert back.gauges["cache.memo.hits"] == 42
+    assert back.histograms["reduce.candidates"].count == 1
+    assert back.histograms["reduce.candidates"].total == 17
+
+
+def test_summary_lines_mention_each_kind():
+    reg = MetricsRegistry()
+    reg.counter_add("phase_s.score", 0.5)
+    reg.gauge_set("stats.victims", 3)
+    reg.observe("score.rows", 8)
+    text = "\n".join(reg.summary_lines())
+    assert "phase_s.score" in text
+    assert "stats.victims" in text
+    assert "score.rows" in text

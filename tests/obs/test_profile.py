@@ -1,0 +1,85 @@
+"""Sampling-profiler tests (thread-based, so kept short and robust)."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs.profile import ProfileReport, SamplingProfiler
+
+
+def _busy(seconds: float) -> float:
+    deadline = time.perf_counter() + seconds
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        acc += sum(i * i for i in range(200))
+    return acc
+
+
+def test_profiler_samples_owner_thread_with_phase_tags():
+    profiler = SamplingProfiler(interval_s=0.001)
+    profiler.start()
+    try:
+        profiler.phase = "score"
+        _busy(0.15)
+        profiler.phase = None
+    finally:
+        profiler.stop()
+    report = profiler.report()
+    assert report.samples > 0
+    assert report.by_phase.get("score", 0) > 0
+    top = report.top_sites(3)
+    assert top and all(count > 0 for _, count in top)
+    # Serialization carries the top sites with file/function/line keys.
+    payload = report.to_json()
+    assert payload["samples"] == report.samples
+    assert all(
+        {"file", "function", "line", "samples"} <= set(site)
+        for site in payload["top_sites"]
+    )
+
+
+def test_profiler_start_stop_idempotent_and_accumulating():
+    profiler = SamplingProfiler(interval_s=0.001)
+    profiler.start()
+    profiler.start()  # second start is a no-op, not a second thread
+    _busy(0.05)
+    profiler.stop()
+    first = profiler.report().samples
+    profiler.start()
+    _busy(0.05)
+    profiler.stop()
+    profiler.stop()
+    assert profiler.report().samples >= first
+
+
+def test_profiler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval_s=0.0)
+
+
+def test_profiler_pickles_to_fresh_instance():
+    profiler = SamplingProfiler(interval_s=0.25)
+    profiler.start()
+    try:
+        clone = pickle.loads(pickle.dumps(profiler))
+    finally:
+        profiler.stop()
+    assert isinstance(clone, SamplingProfiler)
+    assert clone.interval_s == 0.25
+    assert clone.report().samples == 0
+
+
+def test_summary_lines_are_human_readable():
+    report = ProfileReport(
+        interval_s=0.005,
+        samples=10,
+        by_phase={"score": 7, "-": 3},
+        by_site={("/x/kernel.py", "score_rows", 42): 10},
+    )
+    text = "\n".join(report.summary_lines())
+    assert "10 samples" in text
+    assert "score" in text
+    assert "kernel.py:42" in text
