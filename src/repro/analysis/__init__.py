@@ -1,0 +1,62 @@
+"""repro.analysis — whole-design semantic static analysis.
+
+Abstract interpretation over the coupling/timing graph in the proven
+interval domain of :mod:`repro.verify.intervals` — no envelopes, no
+grids, no alignment search:
+
+* :mod:`~repro.analysis.dataflow` — the window-aware fixpoint worklist
+  solver (:func:`semantic_bounds`): per-victim delay-noise intervals,
+  per-direction activation, admissible contribution bounds.
+* :mod:`~repro.analysis.facts` — :class:`SemanticFacts`, the
+  machine-readable dead-aggressor proofs the solver consumes to
+  pre-prune its I-list sweep (with a witness per skip).
+* :mod:`~repro.analysis.waverace` — the static independence proof for
+  the parallel wave partition (:func:`audit_wave_partition`).
+
+The RPR7xx lint tier (:mod:`repro.lint.rules_semantic`) surfaces these
+analyses through ``repro-lint --tier semantic``; see ``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+from .dataflow import (
+    DIES_EARLY,
+    WIDEN_MODES,
+    WINDOWS_DISJOINT,
+    DataflowError,
+    SemanticBounds,
+    semantic_bounds,
+)
+from .facts import (
+    FACTS_FORMAT_VERSION,
+    DeadAggressorProof,
+    FactsError,
+    SemanticFacts,
+    compute_semantic_facts,
+    dead_report,
+)
+from .waverace import (
+    CONFLICT_KINDS,
+    WaveRaceConflict,
+    WaveRaceReport,
+    audit_wave_partition,
+)
+
+__all__ = [
+    "CONFLICT_KINDS",
+    "DIES_EARLY",
+    "DataflowError",
+    "DeadAggressorProof",
+    "FACTS_FORMAT_VERSION",
+    "FactsError",
+    "SemanticBounds",
+    "SemanticFacts",
+    "WIDEN_MODES",
+    "WINDOWS_DISJOINT",
+    "WaveRaceConflict",
+    "WaveRaceReport",
+    "audit_wave_partition",
+    "compute_semantic_facts",
+    "dead_report",
+    "semantic_bounds",
+]

@@ -1,0 +1,339 @@
+"""Whole-design abstract interpretation over the coupling/timing graph.
+
+A fixpoint *worklist* solver in the interval abstract domain of
+:mod:`repro.verify.intervals`.  Where :func:`~repro.verify.intervals.
+propagate_delay_bounds` is a single topological pass under infinite
+timing windows, this pass is **window-aware**: a coupling direction
+``cc -> victim`` is *active* only when the aggressor's primary envelope
+can still be alive at the victim's t50 under the current arrival bounds,
+and only active directions contribute to a victim's local noise bound.
+Tightening is mutual — smaller noise bounds keep windows narrower, which
+keeps more directions provably inactive — so the solver iterates to the
+least fixpoint of the monotone system
+
+* ``arrive_hi[net] = max over fanin (arrive_hi[u] + arc_delay) + dn_ub[net]``
+* ``dn_ub[net]    = ramp bound over the peaks of the *active* directions``
+* ``active(d)     = the direction's envelope-end / window-overlap test
+  under the current widening ``delta = arrive_hi - noiseless LAT``.
+
+Activations only ever flip inactive -> active as ``delta`` grows, so the
+chaotic iteration terminates after at most one flip per direction.  No
+envelope is ever constructed: the envelope end time is the closed form
+``aggressor LAT + slew/2 + decay`` captured by
+:class:`~repro.verify.intervals.CouplingTransfer`.
+
+Soundness
+---------
+With ``widen="fixpoint"`` every concrete iterate of the optimistic
+(``start="optimistic"``) noise fixpoint — over the full design or any
+coupling subset — stays below the abstract least fixpoint, by induction:
+iterate *n* has windows widened by at most ``delta``, hence live
+envelopes inside the abstract active set, hence local noise below
+``dn_ub`` (the ramp argument of :mod:`repro.verify.intervals`, ``H <=
+0.5``), hence arrivals below ``arrive_hi``.  A pessimistic start seeds
+iteration 0 with *infinite* windows, which escapes any finite widening;
+``widen="infinite"`` instead fixes the widening at the alignment-free
+infinite-window bound of :func:`propagate_delay_bounds` — valid for any
+self-consistent fixpoint regardless of the seed — and evaluates the
+activation set once under it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..circuit.design import Design
+from ..timing.delay_models import driver_arc
+from ..timing.graph import TimingGraph
+from ..timing.sta import TimingResult, run_sta
+from ..verify.intervals import (
+    RAMP_BOUND_LIMIT,
+    CouplingTransfer,
+    Interval,
+    coupling_transfer,
+    propagate_delay_bounds,
+    slew_intervals,
+)
+
+#: Accepted widening regimes (see the module docstring).
+WIDEN_MODES = ("fixpoint", "infinite")
+
+#: How a direction was proven inactive (the dead-aggressor criteria).
+DIES_EARLY = "dies-early"
+WINDOWS_DISJOINT = "windows-disjoint"
+
+#: A coupling direction: (coupling index, victim net).
+DirectionKey = Tuple[int, str]
+
+
+class DataflowError(ValueError):
+    """Raised for invalid solver invocations."""
+
+
+@dataclass
+class SemanticBounds:
+    """The window-aware abstract interpretation's verdict on one design.
+
+    Attributes
+    ----------
+    per_net:
+        Net -> latest-arrival interval ``[noiseless LAT, refined hi]``;
+        always nested inside the infinite-window interval.
+    noise:
+        Net -> per-victim delay-noise interval ``[0, refined dn_ub]``
+        (``hi`` is inf at the domain's top).
+    slews:
+        Net -> late-slew interval.
+    active:
+        Direction -> whether the direction may inject noise at the
+        fixpoint.  Inactive directions are *proven dead*.
+    dead_reason:
+        Inactive direction -> which criterion proved it
+        (:data:`DIES_EARLY` or :data:`WINDOWS_DISJOINT`).
+    dead_margin:
+        Inactive direction -> by how much (ns) the criterion held at the
+        fixpoint — the slack a checker can re-verify.
+    contribution_ub:
+        Direction -> admissible upper bound on the delay noise that
+        direction alone can add at its victim (0 for dead directions,
+        inf past the ramp limit).  Summing both directions of a coupling
+        bounds its whole-circuit contribution (arrival propagation is
+        1-Lipschitz in every local noise term), which is what the
+        best-first enumeration of ROADMAP item 5 needs.
+    circuit:
+        Circuit-delay interval (max over primary outputs).
+    window_filter / widen:
+        The regime the activation tests ran under.
+    iterations:
+        Worklist pops until the fixpoint (diagnostics).
+    flips:
+        How many directions flipped inactive -> active after the initial
+        evaluation (0 = the initial pass was already the fixpoint).
+    """
+
+    per_net: Dict[str, Interval] = field(default_factory=dict)
+    noise: Dict[str, Interval] = field(default_factory=dict)
+    slews: Dict[str, Interval] = field(default_factory=dict)
+    active: Dict[DirectionKey, bool] = field(default_factory=dict)
+    dead_reason: Dict[DirectionKey, str] = field(default_factory=dict)
+    dead_margin: Dict[DirectionKey, float] = field(default_factory=dict)
+    contribution_ub: Dict[DirectionKey, float] = field(default_factory=dict)
+    circuit: Interval = field(default_factory=lambda: Interval(0.0, 0.0))
+    window_filter: bool = True
+    widen: str = "fixpoint"
+    iterations: int = 0
+    flips: int = 0
+
+    def dead_directions(self) -> List[DirectionKey]:
+        """Proven-dead directions, in deterministic order."""
+        return sorted(k for k, alive in self.active.items() if not alive)
+
+    def coupling_contribution_ub(self, index: int) -> float:
+        """Whole-circuit contribution bound of coupling ``index``."""
+        return sum(
+            ub for (idx, _), ub in self.contribution_ub.items() if idx == index
+        )
+
+    def top_nets(self) -> List[str]:
+        """Nets whose refined noise bound is the domain's top (inf)."""
+        return sorted(n for n, iv in self.noise.items() if math.isinf(iv.hi))
+
+
+@dataclass
+class _Direction:
+    """Mutable per-direction solver state around a static transfer."""
+
+    transfer: CouplingTransfer
+    active: bool = False
+    reason: str = ""
+    margin: float = 0.0
+
+
+def semantic_bounds(
+    design: Design,
+    graph: Optional[TimingGraph] = None,
+    nominal: Optional[TimingResult] = None,
+    window_filter: bool = True,
+    widen: str = "fixpoint",
+) -> SemanticBounds:
+    """Run the window-aware interval dataflow pass over ``design``.
+
+    Parameters
+    ----------
+    design:
+        The design under analysis.
+    graph / nominal:
+        Pre-built timing graph / noiseless STA to reuse.
+    window_filter:
+        Model the engine's window-overlap false-aggressor filter.  With
+        ``False`` only the (unconditional) dies-before-t50 criterion can
+        prove directions dead — matching analyses that run with the
+        window filter disabled.
+    widen:
+        ``"fixpoint"`` (least-fixpoint widening, optimistic noise seeds)
+        or ``"infinite"`` (alignment-free widening, any seed).
+    """
+    if widen not in WIDEN_MODES:
+        raise DataflowError(f"widen must be one of {WIDEN_MODES}, got {widen!r}")
+    netlist = design.netlist
+    if graph is None:
+        graph = TimingGraph.from_netlist(netlist)
+    if nominal is None:
+        nominal = run_sta(netlist, graph)
+    slew_lo, slew_hi = slew_intervals(design, graph)
+    topo = list(graph.topo_order)
+    topo_index = {net: i for i, net in enumerate(topo)}
+
+    # Static per-direction transfers and the incidence map used to
+    # re-check activations when a net's arrival bound grows.
+    directions: Dict[DirectionKey, _Direction] = {}
+    incident: Dict[str, List[DirectionKey]] = {net: [] for net in topo}
+    for victim in topo:
+        for cc in design.coupling.aggressors_of(victim):
+            key = (cc.index, victim)
+            directions[key] = _Direction(
+                transfer=coupling_transfer(design, cc, victim, slew_lo, slew_hi)
+            )
+            incident[victim].append(key)
+            incident[cc.other(victim)].append(key)
+
+    # Arc delays at the max-slew corner (arc delay is input-slew
+    # independent in this delay model; evaluating at slew_hi keeps the
+    # pass honest if that ever changes).
+    arc_delay: Dict[str, Dict[str, float]] = {}
+    for net in topo:
+        gate = netlist.driver_gate(net)
+        arc_delay[net] = (
+            {}
+            if gate.is_primary_input
+            else {
+                u: driver_arc(netlist, net, slew_hi[u]).delay
+                for u in gate.inputs
+            }
+        )
+
+    delta: Dict[str, float] = {net: 0.0 for net in topo}
+    if widen == "infinite":
+        base = propagate_delay_bounds(design, graph)
+        widen_delta = {
+            net: base.per_net[net].hi - base.per_net[net].lo for net in topo
+        }
+    else:
+        widen_delta = delta  # aliased on purpose: widening tracks the LFP
+
+    def evaluate(key: DirectionKey) -> Tuple[bool, str, float]:
+        """Activation test under the current widening: (active, reason,
+        margin) — margin is how much slack the winning criterion has."""
+        d = directions[key].transfer
+        agg_lat_hi = nominal.lat(d.aggressor) + widen_delta[d.aggressor]
+        gap = nominal.lat(d.victim) - d.t_end_ub(agg_lat_hi)
+        if gap >= 0.0:
+            return False, DIES_EARLY, gap
+        if window_filter:
+            slack = slew_hi[d.aggressor]
+            # Sound negation of TimingWindow.overlaps under any arrival
+            # in [nominal, nominal + delta] and any slack in the slew
+            # interval (EATs are exact: noise never speeds a transition).
+            gap = nominal.eat(d.victim) - slack - agg_lat_hi
+            if gap > 0.0:
+                return False, WINDOWS_DISJOINT, gap
+            vic_lat_hi = nominal.lat(d.victim) + widen_delta[d.victim]
+            gap = nominal.eat(d.aggressor) - slack - vic_lat_hi
+            if gap > 0.0:
+                return False, WINDOWS_DISJOINT, gap
+        return True, "", 0.0
+
+    def ramp_bound(victim: str) -> float:
+        peak_sum = 0.0
+        for key in incident[victim]:
+            if key[1] != victim or not directions[key].active:
+                continue
+            peak_sum += directions[key].transfer.peak_ub
+        if peak_sum <= 0.0:
+            return 0.0
+        if peak_sum > RAMP_BOUND_LIMIT:
+            return math.inf
+        return peak_sum * slew_hi[victim]
+
+    for key, d in directions.items():
+        d.active, d.reason, d.margin = evaluate(key)
+    dn_ub: Dict[str, float] = {net: ramp_bound(net) for net in topo}
+
+    # Worklist keyed by topological index: recompute a net's arrival
+    # bound; on growth, push its fanout and re-check incident
+    # activations (a flip grows the victim's dn_ub, pushing it back).
+    arrive: Dict[str, float] = {net: -math.inf for net in topo}
+    pending: List[Tuple[int, str]] = [(topo_index[n], n) for n in topo]
+    heapq.heapify(pending)
+    queued: Set[str] = set(topo)
+    iterations = 0
+    flips = 0
+
+    def push(net: str) -> None:
+        if net not in queued:
+            queued.add(net)
+            heapq.heappush(pending, (topo_index[net], net))
+
+    while pending:
+        _, net = heapq.heappop(pending)
+        queued.discard(net)
+        iterations += 1
+        fanin = arc_delay[net]
+        upstream = (
+            max(arrive[u] + fanin[u] for u in fanin) if fanin else 0.0
+        )
+        new_arrive = upstream + dn_ub[net]
+        if not new_arrive > arrive[net]:
+            continue
+        arrive[net] = new_arrive
+        delta[net] = max(0.0, new_arrive - nominal.lat(net))
+        for out in graph.fanout.get(net, ()):
+            push(out)
+        if widen == "infinite":
+            continue  # fixed widening: activations never move
+        for key in incident[net]:
+            d = directions[key]
+            if d.active:
+                continue
+            now_active, reason, margin = evaluate(key)
+            if now_active:
+                d.active, d.reason, d.margin = True, "", 0.0
+                flips += 1
+                victim = key[1]
+                dn_ub[victim] = ramp_bound(victim)
+                push(victim)
+            else:
+                d.reason, d.margin = reason, margin
+
+    bounds = SemanticBounds(
+        window_filter=window_filter,
+        widen=widen,
+        iterations=iterations,
+        flips=flips,
+    )
+    for net in topo:
+        lo = nominal.lat(net)
+        bounds.per_net[net] = Interval(lo, max(lo, arrive[net]))
+        bounds.noise[net] = Interval(0.0, dn_ub[net])
+        bounds.slews[net] = Interval(slew_lo[net], slew_hi[net])
+    for key, d in directions.items():
+        bounds.active[key] = d.active
+        if not d.active:
+            bounds.dead_reason[key] = d.reason
+            bounds.dead_margin[key] = d.margin
+        victim = key[1]
+        if not d.active:
+            bounds.contribution_ub[key] = 0.0
+        elif math.isinf(dn_ub[victim]):
+            bounds.contribution_ub[key] = math.inf
+        else:
+            bounds.contribution_ub[key] = d.transfer.peak_ub * slew_hi[victim]
+    pos = netlist.primary_outputs
+    bounds.circuit = Interval(
+        nominal.circuit_delay() if pos else 0.0,
+        max((bounds.per_net[po].hi for po in pos), default=0.0),
+    )
+    return bounds

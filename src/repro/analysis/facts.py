@@ -1,0 +1,314 @@
+"""Machine-readable semantic facts: dead-aggressor proofs and bounds.
+
+The dataflow pass (:mod:`repro.analysis.dataflow`) proves properties;
+this module packages the ones the solver consumes into
+:class:`SemanticFacts` — a JSON-round-trippable artifact the engine
+(:class:`repro.core.engine.TopKEngine`) accepts at construction to
+pre-prune its I-list sweep.  Every skipped coupling direction carries a
+:class:`DeadAggressorProof` witness (criterion + re-checkable margin),
+so a pre-pruned solve stays auditable: the engine records the witnesses
+it acted on in ``TopKEngine.semantic_skips``.
+
+Pre-pruning is *exactness-preserving by construction*: a direction is
+only skipped when the engine's own primary-aggressor filters
+(`windows_can_interact`, the dies-before-t50 test) are statically
+guaranteed to drop it, so the primary sets — and hence every candidate,
+score, and the reported top-k set — are bit-identical with and without
+facts.  The proofs are conditional on the engine configuration:
+
+* ``dies-early`` proofs hold unconditionally;
+* ``windows-disjoint`` proofs hold only when the engine's window filter
+  is on (``TopKConfig.window_filter``), and are withheld otherwise;
+* elimination-mode windows come from a converged noise fixpoint, so the
+  facts must have been widened compatibly — ``fixpoint`` widening
+  covers optimistic seeds, ``infinite`` covers any seed.
+  :meth:`SemanticFacts.ensure_compatible` enforces all of this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..circuit.design import Design
+from .dataflow import (
+    DIES_EARLY,
+    WINDOWS_DISJOINT,
+    DirectionKey,
+    SemanticBounds,
+    semantic_bounds,
+)
+
+#: Version of the serialized facts schema.
+FACTS_FORMAT_VERSION = 1
+
+
+class FactsError(ValueError):
+    """Raised for malformed or incompatible semantic facts."""
+
+
+@dataclass(frozen=True)
+class DeadAggressorProof:
+    """Witness that one coupling direction can never inject delay noise.
+
+    Attributes
+    ----------
+    coupling:
+        Coupling cap index.
+    victim / aggressor:
+        The direction: the far net switching, the near net slowed.
+    criterion:
+        ``"dies-early"`` (the primary envelope provably ends before the
+        victim's t50 under any reachable windows) or
+        ``"windows-disjoint"`` (the timing windows provably cannot
+        overlap, the engine's ``window_filter`` criterion).
+    margin:
+        Slack of the proof in ns (how far the bound clears the
+        threshold) — re-checkable against the interval domain.
+    """
+
+    coupling: int
+    victim: str
+    aggressor: str
+    criterion: str
+    margin: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "coupling": self.coupling,
+            "victim": self.victim,
+            "aggressor": self.aggressor,
+            "criterion": self.criterion,
+            "margin": self.margin,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "DeadAggressorProof":
+        try:
+            proof = cls(
+                coupling=int(data["coupling"]),
+                victim=str(data["victim"]),
+                aggressor=str(data["aggressor"]),
+                criterion=str(data["criterion"]),
+                margin=float(data["margin"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FactsError(f"malformed dead-aggressor proof: {exc}") from exc
+        if proof.criterion not in (DIES_EARLY, WINDOWS_DISJOINT):
+            raise FactsError(
+                f"unknown proof criterion {proof.criterion!r}"
+            )
+        return proof
+
+
+@dataclass
+class SemanticFacts:
+    """The exported facts of one semantic analysis run.
+
+    ``proofs`` maps each proven-dead direction to its witness;
+    ``contribution_ub`` carries the admissible per-direction noise
+    bounds (the best-first enumeration's heuristic input).  ``mode``,
+    ``window_filter``, ``noise_start`` and ``widen`` pin the regime the
+    proofs are valid for.
+    """
+
+    design_name: str
+    mode: str
+    window_filter: bool
+    noise_start: str
+    widen: str
+    proofs: Dict[DirectionKey, DeadAggressorProof] = field(default_factory=dict)
+    contribution_ub: Dict[DirectionKey, float] = field(default_factory=dict)
+    bounds: Optional[SemanticBounds] = field(default=None, repr=False)
+
+    def dead_for(
+        self, victim: str, window_filter: bool = True
+    ) -> FrozenSet[int]:
+        """Coupling indices provably dead *at this victim*.
+
+        ``window_filter`` is the **consumer's** filter setting: with the
+        engine's window filter off, only the unconditional
+        ``dies-early`` proofs apply.
+        """
+        return frozenset(
+            idx
+            for (idx, v), proof in self.proofs.items()
+            if v == victim
+            and (window_filter or proof.criterion == DIES_EARLY)
+        )
+
+    def proof(self, coupling: int, victim: str) -> Optional[DeadAggressorProof]:
+        return self.proofs.get((coupling, victim))
+
+    def dead_couplings(self) -> FrozenSet[int]:
+        """Couplings proven dead in *both* directions — globally
+        irrelevant: they cannot change any subset's circuit delay, so no
+        optimal top-k set needs them (value-wise)."""
+        by_index: Dict[int, int] = {}
+        for (idx, _victim) in self.proofs:
+            by_index[idx] = by_index.get(idx, 0) + 1
+        return frozenset(idx for idx, n in by_index.items() if n >= 2)
+
+    def coupling_contribution_ub(self, index: int) -> float:
+        return sum(
+            ub for (idx, _), ub in self.contribution_ub.items() if idx == index
+        )
+
+    def ensure_compatible(
+        self, design: Design, mode: str, config: Any
+    ) -> None:
+        """Raise :class:`FactsError` unless these facts may pre-prune a
+        solve of ``design`` under ``mode`` / ``config`` (a TopKConfig)."""
+        if design.netlist.name != self.design_name:
+            raise FactsError(
+                f"facts were computed for design {self.design_name!r}, "
+                f"not {design.netlist.name!r}"
+            )
+        if mode != self.mode:
+            raise FactsError(
+                f"facts were computed for mode {self.mode!r}, not {mode!r}"
+            )
+        if config.window_filter and not self.window_filter:
+            # Facts computed without the window criterion are a subset of
+            # what a filtering engine drops — usable, never the reverse.
+            pass
+        if not config.window_filter and self.window_filter:
+            # dead_for() withholds windows-disjoint proofs in this case;
+            # nothing else to check.
+            pass
+        if mode == "elimination":
+            start = config.noise.start
+            if start != self.noise_start:
+                raise FactsError(
+                    f"facts cover noise start {self.noise_start!r}, "
+                    f"the config uses {start!r}"
+                )
+            if start == "pessimistic" and self.widen != "infinite":
+                raise FactsError(
+                    "pessimistic noise seeds need infinite-window "
+                    f"widening, facts used {self.widen!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format_version": FACTS_FORMAT_VERSION,
+            "design": self.design_name,
+            "mode": self.mode,
+            "window_filter": self.window_filter,
+            "noise_start": self.noise_start,
+            "widen": self.widen,
+            "proofs": [p.to_json() for _, p in sorted(self.proofs.items())],
+            "contribution_ub": [
+                {"coupling": idx, "victim": victim, "ub": ub}
+                for (idx, victim), ub in sorted(self.contribution_ub.items())
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SemanticFacts":
+        version = data.get("format_version")
+        if version != FACTS_FORMAT_VERSION:
+            raise FactsError(
+                f"facts format v{version!r} is not v{FACTS_FORMAT_VERSION}"
+            )
+        facts = cls(
+            design_name=str(data.get("design", "")),
+            mode=str(data.get("mode", "addition")),
+            window_filter=bool(data.get("window_filter", True)),
+            noise_start=str(data.get("noise_start", "optimistic")),
+            widen=str(data.get("widen", "fixpoint")),
+        )
+        for entry in data.get("proofs", []):
+            proof = DeadAggressorProof.from_json(entry)
+            facts.proofs[(proof.coupling, proof.victim)] = proof
+        for entry in data.get("contribution_ub", []):
+            try:
+                key = (int(entry["coupling"]), str(entry["victim"]))
+                facts.contribution_ub[key] = float(entry["ub"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise FactsError(
+                    f"malformed contribution bound: {exc}"
+                ) from exc
+        return facts
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "SemanticFacts":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FactsError(f"cannot load facts from {path!r}: {exc}") from exc
+        return cls.from_json(data)
+
+
+def compute_semantic_facts(
+    design: Design,
+    mode: str = "addition",
+    config: Optional[Any] = None,
+    bounds: Optional[SemanticBounds] = None,
+) -> SemanticFacts:
+    """Run the semantic pass and export the solver-consumable facts.
+
+    Parameters
+    ----------
+    design / mode:
+        What the facts will pre-prune.
+    config:
+        The solve's :class:`~repro.core.engine.TopKConfig`; its
+        ``window_filter`` and noise-seed start pick the proof regime
+        (``None`` = the defaults: filter on, optimistic start).
+    bounds:
+        A pre-computed :class:`SemanticBounds` to reuse — must match the
+        regime, otherwise it is recomputed.
+    """
+    window_filter = True if config is None else bool(config.window_filter)
+    noise_start = "optimistic" if config is None else config.noise.start
+    widen = "infinite" if noise_start == "pessimistic" else "fixpoint"
+    if (
+        bounds is None
+        or bounds.window_filter != window_filter
+        or bounds.widen != widen
+    ):
+        bounds = semantic_bounds(
+            design, window_filter=window_filter, widen=widen
+        )
+    facts = SemanticFacts(
+        design_name=design.netlist.name,
+        mode=mode,
+        window_filter=window_filter,
+        noise_start=noise_start,
+        widen=widen,
+        bounds=bounds,
+    )
+    coupling_of = {cc.index: cc for cc in design.coupling}
+    for key in bounds.dead_directions():
+        idx, victim = key
+        facts.proofs[key] = DeadAggressorProof(
+            coupling=idx,
+            victim=victim,
+            aggressor=coupling_of[idx].other(victim),
+            criterion=bounds.dead_reason[key],
+            margin=bounds.dead_margin[key],
+        )
+    facts.contribution_ub = dict(bounds.contribution_ub)
+    return facts
+
+
+def dead_report(facts: SemanticFacts) -> List[str]:
+    """Human-readable one-liners for the proven-dead directions."""
+    lines: List[str] = []
+    for key in sorted(facts.proofs):
+        p = facts.proofs[key]
+        lines.append(
+            f"c{p.coupling} {p.aggressor} -> {p.victim}: {p.criterion} "
+            f"(margin {p.margin:.4f} ns)"
+        )
+    return lines

@@ -1,0 +1,229 @@
+"""Static wave-race auditor for the parallel sweep partition.
+
+The wave scheduler (:mod:`repro.perf.scheduler`) assumes the partition
+built by :func:`repro.perf.waves.build_waves` is *independent*: no two
+chunks of one wave share a mutable dependency during a cardinality
+pass.  PR 4 established this by testing bit-exactness on benchmarks;
+this auditor turns the assumption into a per-design **proof** by
+checking the four structural obligations the scheduler's correctness
+argument rests on:
+
+1. *Partition* — the waves cover every net of the topological order
+   exactly once (a duplicated net would make two chunks write the same
+   victim's irredundant list; a missing net would leave stale state).
+2. *Fanin separation* — no net shares a wave with one of its fanin nets.
+   A sweep at cardinality ``i`` reads its fanin victims' lists *at the
+   same cardinality* (pseudo aggressors), so a same-wave fanin is a
+   write/read race between chunks.
+3. *Level monotonicity* — waves appear in increasing topological level
+   and every net sits in a wave at (or after) all of its fanins' waves;
+   together with (2) this proves every same-cardinality read targets a
+   wave that completed earlier in the pass.  Cross-victim reads at
+   cardinality ``i - 1`` (higher-order aggressors) are complete before
+   the pass starts and need no wave ordering.
+4. *Sink isolation* — the engine's virtual sink reads every primary
+   output's same-cardinality list, so it must sit alone in the final
+   wave.
+
+Worker processes hold private engine replicas (private memo caches);
+the parent merges chunk results in submission order, so per-process
+state needs no auditing — the only shared mutable state is the
+per-victim frontier the four obligations cover.
+
+A clean audit (``report.proven``) is a machine-checked independence
+proof for *this* design's partition; any violation pinpoints the
+conflicting pair of nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..perf.waves import Wave, build_waves, wave_conflicts
+from ..timing.graph import TimingGraph
+
+#: Conflict kinds, in report order.
+CONFLICT_KINDS = (
+    "duplicate-net",
+    "missing-net",
+    "unknown-net",
+    "fanin-shared-wave",
+    "level-inversion",
+    "sink-not-isolated",
+)
+
+
+@dataclass(frozen=True)
+class WaveRaceConflict:
+    """One violated independence obligation, pinpointed.
+
+    ``net`` / ``other`` name the conflicting pair where the obligation
+    is pairwise (``other`` is empty for partition defects), ``level``
+    the wave the conflict manifests in.
+    """
+
+    kind: str
+    level: int
+    net: str
+    other: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:
+        pair = f" vs {self.other!r}" if self.other else ""
+        return f"[{self.kind}] wave {self.level}: {self.net!r}{pair} — {self.detail}"
+
+
+@dataclass
+class WaveRaceReport:
+    """Outcome of one wave-race audit."""
+
+    waves: int
+    nets: int
+    conflicts: List[WaveRaceConflict] = field(default_factory=list)
+
+    @property
+    def proven(self) -> bool:
+        """True when every independence obligation holds — the parallel
+        partition is proven race-free for this design."""
+        return not self.conflicts
+
+    def summary(self) -> str:
+        if self.proven:
+            return (
+                f"wave partition proven independent: {self.nets} net(s) "
+                f"across {self.waves} wave(s)"
+            )
+        return (
+            f"wave partition NOT independent: {len(self.conflicts)} "
+            f"conflict(s) across {self.waves} wave(s)"
+        )
+
+
+def audit_wave_partition(
+    graph: TimingGraph,
+    waves: Optional[Sequence[Wave]] = None,
+    sink: Optional[str] = None,
+) -> WaveRaceReport:
+    """Statically verify the independence of a wave partition.
+
+    Parameters
+    ----------
+    graph:
+        The timing graph the partition claims to cover.
+    waves:
+        The partition to audit; ``None`` audits the partition the
+        scheduler itself would build (``build_waves(graph, sink=...)``).
+    sink:
+        The engine's virtual sink net, if the partition includes one.
+        When ``waves`` is None and ``sink`` is None the engine's
+        :data:`~repro.core.engine.SINK` is used, matching the scheduler.
+    """
+    if waves is None:
+        if sink is None:
+            from ..core.engine import SINK
+
+            sink = SINK
+        waves = build_waves(graph, sink=sink)
+    wave_list = list(waves)
+    report = WaveRaceReport(
+        waves=len(wave_list), nets=sum(len(w) for w in wave_list)
+    )
+    conflicts = report.conflicts
+
+    # Obligation 1: exact partition of the topological order (+ sink).
+    expected = set(graph.topo_order)
+    if sink is not None:
+        expected.add(sink)
+    seen: Dict[str, int] = {}
+    for wave in wave_list:
+        for net in wave.nets:
+            if net in seen:
+                conflicts.append(
+                    WaveRaceConflict(
+                        kind="duplicate-net",
+                        level=wave.level,
+                        net=net,
+                        detail=(
+                            f"also in wave {seen[net]}: two chunks would "
+                            "write this victim's irredundant list"
+                        ),
+                    )
+                )
+            else:
+                seen[net] = wave.level
+            if net not in expected:
+                conflicts.append(
+                    WaveRaceConflict(
+                        kind="unknown-net",
+                        level=wave.level,
+                        net=net,
+                        detail="not a net of the design's timing graph",
+                    )
+                )
+    for net in sorted(expected - set(seen)):
+        conflicts.append(
+            WaveRaceConflict(
+                kind="missing-net",
+                level=-1,
+                net=net,
+                detail="never swept: its frontier state would go stale",
+            )
+        )
+
+    # Obligation 2: no net shares a wave with one of its fanins.
+    for level, net, other in wave_conflicts(graph, wave_list):
+        conflicts.append(
+            WaveRaceConflict(
+                kind="fanin-shared-wave",
+                level=level,
+                net=net,
+                other=other,
+                detail=(
+                    "same-cardinality read of a list another chunk of "
+                    "this wave may still be writing"
+                ),
+            )
+        )
+
+    # Obligation 3: every fanin's wave strictly precedes its reader's.
+    position: Dict[str, int] = {}
+    for pos, wave in enumerate(wave_list):
+        for net in wave.nets:
+            position.setdefault(net, pos)
+    for wave in wave_list:
+        for net in wave.nets:
+            for fan in graph.fanin.get(net, ()):
+                if fan in position and position[fan] > position.get(net, -1):
+                    conflicts.append(
+                        WaveRaceConflict(
+                            kind="level-inversion",
+                            level=wave.level,
+                            net=net,
+                            other=fan,
+                            detail=(
+                                "fanin scheduled in a later wave: the "
+                                "pseudo-aggressor read would see a stale "
+                                "list"
+                            ),
+                        )
+                    )
+
+    # Obligation 4: the virtual sink is alone in the final wave.
+    if sink is not None and sink in seen:
+        last = wave_list[-1]
+        if sink not in last.nets or len(last.nets) != 1:
+            where = seen[sink]
+            conflicts.append(
+                WaveRaceConflict(
+                    kind="sink-not-isolated",
+                    level=where,
+                    net=sink,
+                    detail=(
+                        "the sink reads every primary output's "
+                        "same-cardinality list, so it must be the lone "
+                        "member of the final wave"
+                    ),
+                )
+            )
+    return report

@@ -24,7 +24,7 @@ from .timing.sta import run_sta
 AnalysisConfig = TopKConfig
 
 #: Accepted values of ``analyze``'s ``lint`` parameter.
-_LINT_MODES = (None, False, True, "preflight", "audit")
+_LINT_MODES = (None, False, True, "preflight", "semantic", "audit")
 
 
 def analyze(
@@ -67,6 +67,12 @@ def analyze(
           the design and this configuration first; ERROR findings raise
           :class:`~repro.lint.framework.LintError` instead of surfacing
           later as deep solver stack traces;
+        * ``"semantic"`` — preflight (which now includes the RPR7xx
+          semantic tier) **plus** fact-driven pruning: the whole-design
+          dataflow pass (:mod:`repro.analysis`) computes dead-aggressor
+          proofs and the engine pre-prunes its primary sweep with them —
+          bit-identical results, one certificate witness per skip
+          (``result.stats.semantic_skips``);
         * ``"audit"`` — preflight **plus** the Theorem-1 dominance audit:
           the engine records every pruning decision and the audit
           re-checks the dominance preconditions on the sets it actually
@@ -153,6 +159,16 @@ def analyze(
         config=LintConfig(),
     )
     assert_clean(report)
+    if lint == "semantic":
+        from .analysis import compute_semantic_facts
+
+        facts = compute_semantic_facts(design, mode=mode, config=cfg)
+        engine = TopKEngine(design, mode, cfg, facts=facts)
+        result = _checked(
+            solver(design, k, cfg, engine=engine), design, certify, trace
+        )
+        return replace(result, lint_report=report)
+
     if lint != "audit":
         result = _checked(solver(design, k, cfg), design, certify, trace)
         return replace(result, lint_report=report)

@@ -39,9 +39,21 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.facts import DeadAggressorProof, SemanticFacts
 
 from ..circuit.coupling import CouplingCap
 from ..circuit.design import Design
@@ -236,6 +248,7 @@ _COUNTER_FIELDS = (
     "dominated",
     "pseudo_atoms",
     "higher_order_atoms",
+    "semantic_skips",
 )
 
 #: SolveStats fields describing *how* the solve executed (scheduling and
@@ -269,6 +282,7 @@ class SolveStats:
     dominated: int = 0
     pseudo_atoms: int = 0
     higher_order_atoms: int = 0
+    semantic_skips: int = 0
     waves: int = 0
     parallel_tasks: int = 0
     phase_s: Dict[str, float] = field(default_factory=dict)
@@ -416,6 +430,7 @@ class TopKEngine:
         mode: str,
         config: Optional[TopKConfig] = None,
         memo: Optional[EnvelopeMemo] = None,
+        facts: Optional["SemanticFacts"] = None,
     ) -> None:
         if mode not in _MODES:
             raise TopKError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -426,6 +441,26 @@ class TopKEngine:
         #: higher-order envelopes).  Pass a shared memo to warm a new
         #: engine over the *same design*; never share across designs.
         self.memo = memo if memo is not None else EnvelopeMemo()
+        #: Semantic facts (:mod:`repro.analysis.facts`): statically
+        #: proven dead-aggressor directions the primary sweep skips
+        #: without computing a pulse or envelope.  Exactness-preserving
+        #: by construction — only directions the engine's own filters
+        #: are proven to drop are skipped — so results are bit-identical
+        #: with and without facts.  Passed like ``memo`` (not part of
+        #: :class:`TopKConfig`) so checkpoint/certificate fingerprints
+        #: are unchanged.
+        self.facts = facts
+        #: Per-skip witnesses (the certificate hook): one
+        #: :class:`~repro.analysis.facts.DeadAggressorProof` for every
+        #: coupling direction the sweep pre-pruned on the facts' word.
+        self.semantic_skips: List["DeadAggressorProof"] = []
+        if facts is not None:
+            from ..analysis.facts import FactsError
+
+            try:
+                facts.ensure_compatible(design, mode, self.config)
+            except FactsError as exc:
+                raise TopKError(f"semantic facts rejected: {exc}") from exc
         self.netlist = design.netlist
         self.coupling = design.coupling
         self.graph = TimingGraph.from_netlist(self.netlist)
@@ -637,7 +672,22 @@ class TopKEngine:
         cfg = self.config
         infos: List[_PrimaryInfo] = []
         victim_window = self.window_timing.window(victim)
+        dead: FrozenSet[int] = (
+            self.facts.dead_for(victim, window_filter=cfg.window_filter)
+            if self.facts is not None
+            else frozenset()
+        )
         for cc in self.coupling.aggressors_of(victim):
+            if cc.index in dead:
+                # Statically proven dead (repro.analysis): the filters
+                # below are guaranteed to drop this direction, so skip
+                # the pulse/envelope work and log the proof as witness.
+                assert self.facts is not None
+                proof = self.facts.proof(cc.index, victim)
+                if proof is not None:
+                    self.semantic_skips.append(proof)
+                self.stats.semantic_skips += 1
+                continue
             aggressor = cc.other(victim)
             window = self.window_timing.window(aggressor)
             slew_a = self.window_timing.slew_late(aggressor)

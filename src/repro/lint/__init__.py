@@ -15,6 +15,10 @@ instead of deep stack traces or silently wrong top-k sets.
 * :mod:`~repro.lint.rules_certificate` — certificate re-validation
   (RPR6xx), surfacing :func:`repro.verify.check_certificate` through
   the lint reporters (see ``docs/verification.md``).
+* :mod:`~repro.lint.rules_semantic` — the semantic tier (RPR7xx):
+  whole-design dataflow proofs from :mod:`repro.analysis` —
+  dead-aggressor certificates, bound-violation lints, and the static
+  wave-race audit of the parallel partition.
 * :mod:`~repro.lint.reporters` — text / JSON / SARIF output.
 * :mod:`~repro.lint.baseline` — snapshot known findings; CI fails only
   on regressions.
@@ -57,6 +61,7 @@ from . import (  # noqa: F401,E402
     rules_config,
     rules_coupling,
     rules_netlist,
+    rules_semantic,
     rules_timing,
 )
 from .baseline import Baseline, BaselineError

@@ -32,14 +32,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..noise.envelope import ENCAPSULATION_TOL
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 #: Absolute slack (ns) granted on top of one grid step in RPR503.
 _CROSSING_TOL_NS = 1e-9
 
 
 @rule("RPR501", Severity.ERROR, "audit", legacy="dominance-encapsulation")
-def dominance_encapsulation(ctx, report):
+def dominance_encapsulation(ctx: LintContext, report: Reporter) -> None:
     """Every pruned candidate must be pointwise encapsulated by its
     dominator within the victim's dominance interval — the literal
     precondition of Theorem 1.  A finding here means the engine discarded
@@ -63,7 +63,7 @@ def dominance_encapsulation(ctx, report):
 
 
 @rule("RPR502", Severity.ERROR, "audit", legacy="dominance-score-inversion")
-def dominance_score_inversion(ctx, report):
+def dominance_score_inversion(ctx: LintContext, report: Reporter) -> None:
     """A dominator's delay-noise score must be at least as good as the
     pruned set's (larger in addition mode, smaller in elimination mode);
     a strict inversion is a direct counterexample to the pruning."""
@@ -88,7 +88,7 @@ def dominance_score_inversion(ctx, report):
 
 
 @rule("RPR503", Severity.ERROR, "audit", legacy="dominance-interval-overrun")
-def dominance_interval_overrun(ctx, report):
+def dominance_interval_overrun(ctx: LintContext, report: Reporter) -> None:
     """The dominance interval's upper bound must contain every noisy
     crossing the enumeration produced: a kept or pruned candidate whose
     delay noise pushes the victim's t50 past ``interval.hi`` falsifies the
@@ -119,7 +119,7 @@ def dominance_interval_overrun(ctx, report):
 
 
 @rule("RPR504", Severity.ERROR, "audit", legacy="audit-not-armed")
-def audit_not_armed(ctx, report):
+def audit_not_armed(ctx: LintContext, report: Reporter) -> None:
     """The audit only means something when the engine recorded its pruning
     decisions: auditing an engine solved without
     ``TopKConfig(audit_dominance=True)`` silently checks an empty log."""

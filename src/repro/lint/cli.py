@@ -18,6 +18,14 @@ Accept the current findings as debt, then fail only on regressions::
 Run the Theorem-1 dominance audit on top of the static rules::
 
     repro-lint --benchmark i1 --audit --k 3
+
+Run only the semantic tier (the RPR7xx whole-design dataflow proofs)::
+
+    repro-lint --all-benchmarks --tier semantic
+
+Exit codes: 0 clean, 1 findings at/above ``--fail-on``, 2 usage /
+input error, 3 a selected tier is missing its required input (e.g.
+``--tier audit`` without ``--audit``).
 """
 
 from __future__ import annotations
@@ -32,6 +40,20 @@ from ..core.engine import TopKConfig
 from .baseline import Baseline, BaselineError
 from .framework import LintConfig, LintReport, Severity, run_lint
 from .reporters import render
+
+#: Exit code for "the selected tier needs an input this invocation did
+#: not provide" — distinct from 1 (findings) and 2 (bad usage/design).
+EXIT_MISSING_INPUT = 3
+
+#: Rule categories each ``--tier`` selects (``None`` = every applicable
+#: category, the historical default).
+TIER_CATEGORIES = {
+    "static": ("netlist", "coupling", "timing", "config"),
+    "semantic": ("netlist", "coupling", "timing", "config", "semantic"),
+    "audit": ("audit",),
+    "certificate": ("certificate",),
+    "all": None,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="grid resolution the analysis would use (config rules)",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=tuple(TIER_CATEGORIES),
+        default="all",
+        help=(
+            "rule tier to run (default all): static = RPR1xx-4xx, "
+            "semantic = static + the RPR7xx dataflow proofs, audit = "
+            "RPR5xx (needs --audit; exits 3 without it), certificate = "
+            "RPR6xx (needs a solve certificate; use repro-certify)"
+        ),
     )
     parser.add_argument(
         "--audit",
@@ -131,12 +164,15 @@ def _lint_config(args: argparse.Namespace) -> LintConfig:
 
 def _lint_one(design: Design, args: argparse.Namespace, cfg: LintConfig) -> LintReport:
     analysis_config = TopKConfig(grid_points=args.grid_points)
-    report = run_lint(
-        design,
-        analysis_config=analysis_config,
-        k=args.k,
-        config=cfg,
-    )
+    report: Optional[LintReport] = None
+    if args.tier != "audit":
+        report = run_lint(
+            design,
+            analysis_config=analysis_config,
+            k=args.k,
+            config=cfg,
+            categories=TIER_CATEGORIES[args.tier],
+        )
     if args.audit:
         from dataclasses import replace
 
@@ -146,9 +182,13 @@ def _lint_one(design: Design, args: argparse.Namespace, cfg: LintConfig) -> Lint
             design, args.mode, replace(analysis_config, audit_dominance=True)
         )
         engine.solve(args.k if args.k is not None else 3)
-        report = report.merged_with(
-            run_lint(design, engine=engine, config=cfg, categories=("audit",))
+        audit_report = run_lint(
+            design, engine=engine, config=cfg, categories=("audit",)
         )
+        report = (
+            audit_report if report is None else report.merged_with(audit_report)
+        )
+    assert report is not None
     return report
 
 
@@ -157,6 +197,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.update_baseline and not args.baseline:
         parser.error("--update-baseline requires --baseline PATH")
+    if args.tier == "audit" and not args.audit:
+        print(
+            "error: --tier audit re-checks Theorem 1 on a *solved* run, "
+            "which this invocation does not produce; add --audit "
+            "(optionally --k/--mode) so repro-lint solves the design "
+            "first",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING_INPUT
+    if args.tier == "certificate":
+        print(
+            "error: --tier certificate re-validates a solve certificate, "
+            "but repro-lint has no certificate input; run "
+            "`repro-certify` on the same design instead — it produces "
+            "the certificate and runs the RPR6xx checks against it",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING_INPUT
     cfg = _lint_config(args)
 
     if args.all_benchmarks:

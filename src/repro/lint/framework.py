@@ -43,8 +43,11 @@ from typing import (
 from ..circuit.netlist import Netlist
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.dataflow import SemanticBounds
+    from ..analysis.waverace import WaveRaceReport
     from ..circuit.design import Design
     from ..core.engine import TopKConfig, TopKEngine
+    from ..timing.graph import TimingGraph
     from ..timing.sta import TimingResult
     from ..verify.certificate import Certificate
     from ..verify.checker import CheckReport
@@ -77,7 +80,15 @@ _SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
 
 #: Rule categories in the order reports list them.  Each category maps to
 #: what the rule needs to run (see :meth:`Rule.applicable`).
-CATEGORIES = ("netlist", "coupling", "timing", "config", "audit", "certificate")
+CATEGORIES = (
+    "netlist",
+    "coupling",
+    "timing",
+    "config",
+    "semantic",
+    "audit",
+    "certificate",
+)
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 
@@ -111,6 +122,9 @@ class Finding:
 #: Signature of the ``report`` callback handed to rule check functions.
 Reporter = Callable[..., None]
 
+#: Signature of a rule check function.
+RuleCheck = Callable[["LintContext", Reporter], None]
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -121,14 +135,14 @@ class Rule:
     category: str
     name: str
     doc: str
-    check: Callable[["LintContext", Reporter], None]
+    check: RuleCheck
     legacy: Optional[str] = None
 
     def applicable(self, ctx: "LintContext") -> bool:
         """Whether the context carries what this rule's category needs."""
         if self.category == "netlist":
             return True
-        if self.category in ("coupling", "timing"):
+        if self.category in ("coupling", "timing", "semantic"):
             return ctx.design is not None
         if self.category == "config":
             return ctx.design is not None and ctx.analysis_config is not None
@@ -186,7 +200,7 @@ def rule(
     severity: Severity,
     category: str,
     legacy: Optional[str] = None,
-) -> Callable[[Callable], Callable]:
+) -> Callable[[RuleCheck], RuleCheck]:
     """Register a check function as lint rule ``code``.
 
     Parameters
@@ -202,7 +216,7 @@ def rule(
         :mod:`repro.circuit.validate` backward-compatible shims.
     """
 
-    def decorate(fn: Callable) -> Callable:
+    def decorate(fn: RuleCheck) -> RuleCheck:
         if not _CODE_RE.match(code):
             raise RuleDefinitionError(
                 f"rule code {code!r} does not match 'RPR###'"
@@ -269,11 +283,37 @@ class LintContext:
     certificate: Optional["Certificate"] = None
     _sta: Optional["TimingResult"] = field(default=None, repr=False)
     _sta_failed: bool = field(default=False, repr=False)
+    _graph: Optional["TimingGraph"] = field(default=None, repr=False)
+    _graph_failed: bool = field(default=False, repr=False)
+    _semantic: Optional["SemanticBounds"] = field(default=None, repr=False)
+    _semantic_failed: bool = field(default=False, repr=False)
+    _wave_audit: Optional["WaveRaceReport"] = field(default=None, repr=False)
     _check_report: Optional["CheckReport"] = field(default=None, repr=False)
 
     @property
     def design_name(self) -> str:
         return self.netlist.name
+
+    @property
+    def graph(self) -> Optional["TimingGraph"]:
+        """The netlist's timing graph (topological order, levels, fanin
+        and fanout views), built once and shared by every rule in the
+        run — or None when the structure has no topological order
+        (undriven nets, combinational cycles)."""
+        if self._graph is None and not self._graph_failed:
+            from ..timing.graph import TimingGraph
+
+            try:
+                self._graph = TimingGraph.from_netlist(self.netlist)
+            except Exception:  # noqa: BLE001 - structural dirt is expected
+                self._graph_failed = True
+        return self._graph
+
+    @property
+    def topo_order(self) -> Optional[List[str]]:
+        """Cached topological net order, or None on broken structure."""
+        graph = self.graph
+        return None if graph is None else graph.topo_order
 
     @property
     def sta(self) -> Optional["TimingResult"]:
@@ -282,11 +322,62 @@ class LintContext:
         if self._sta is None and not self._sta_failed:
             from ..timing.sta import run_sta
 
+            graph = self.graph
+            if graph is None:
+                self._sta_failed = True
+                return None
             try:
-                self._sta = run_sta(self.netlist)
+                self._sta = run_sta(self.netlist, graph)
             except Exception:  # noqa: BLE001 - structural dirt is expected
                 self._sta_failed = True
         return self._sta
+
+    @property
+    def semantic(self) -> Optional["SemanticBounds"]:
+        """The semantic dataflow pass over :attr:`design`
+        (:func:`repro.analysis.dataflow.semantic_bounds`), memoized so
+        the RPR7xx rules share one fixpoint run.  None without a design
+        or when the design cannot be timed."""
+        if (
+            self._semantic is None
+            and not self._semantic_failed
+            and self.design is not None
+        ):
+            from ..analysis.dataflow import semantic_bounds
+
+            graph = self.graph
+            if graph is None or self.sta is None:
+                self._semantic_failed = True
+                return None
+            window_filter = (
+                self.analysis_config.window_filter
+                if self.analysis_config is not None
+                else True
+            )
+            try:
+                self._semantic = semantic_bounds(
+                    self.design,
+                    graph=graph,
+                    nominal=self.sta,
+                    window_filter=window_filter,
+                )
+            except Exception:  # noqa: BLE001 - surfaced by the rules
+                self._semantic_failed = True
+        return self._semantic
+
+    @property
+    def wave_audit(self) -> Optional["WaveRaceReport"]:
+        """The static wave-race audit of the scheduler's partition for
+        this design (:func:`repro.analysis.waverace.audit_wave_partition`),
+        memoized; None on broken structure."""
+        if self._wave_audit is None:
+            from ..analysis.waverace import audit_wave_partition
+
+            graph = self.graph
+            if graph is None:
+                return None
+            self._wave_audit = audit_wave_partition(graph)
+        return self._wave_audit
 
     @property
     def check_report(self) -> Optional["CheckReport"]:
@@ -422,6 +513,7 @@ def run_lint(
         rules_config,
         rules_coupling,
         rules_netlist,
+        rules_semantic,
         rules_timing,
     )
 

@@ -27,7 +27,7 @@ The split mirrors the certificate's proof obligations:
 
 from __future__ import annotations
 
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 #: checker-finding kind -> owning rule code.
 _KIND_TO_RULE = {
@@ -50,7 +50,7 @@ _KIND_TO_RULE = {
 }
 
 
-def _relay(ctx, report, code: str) -> None:
+def _relay(ctx: LintContext, report: Reporter, code: str) -> None:
     """Re-emit the checker findings owned by ``code`` through ``report``."""
     check = ctx.check_report
     if check is None:  # pragma: no cover - guarded by applicability
@@ -69,7 +69,7 @@ def _relay(ctx, report, code: str) -> None:
 
 
 @rule("RPR601", Severity.ERROR, "certificate", legacy="certificate-malformed")
-def certificate_malformed(ctx, report):
+def certificate_malformed(ctx: LintContext, report: Reporter) -> None:
     """The certificate payload must be the format version this library
     validates and internally consistent (witnesses reference recorded
     victim contexts, coverage counters match the payload).  A finding
@@ -78,7 +78,7 @@ def certificate_malformed(ctx, report):
 
 
 @rule("RPR602", Severity.ERROR, "certificate", legacy="certificate-witness")
-def certificate_witness_invalid(ctx, report):
+def certificate_witness_invalid(ctx: LintContext, report: Reporter) -> None:
     """Every recorded prune witness must satisfy Theorem 1 when re-checked
     from scratch: the dominator pointwise encapsulates the pruned
     envelope over the dominance interval, scores are ordered the right
@@ -89,7 +89,7 @@ def certificate_witness_invalid(ctx, report):
 
 
 @rule("RPR603", Severity.ERROR, "certificate", legacy="certificate-frontier")
-def certificate_frontier_invalid(ctx, report):
+def certificate_frontier_invalid(ctx: LintContext, report: Reporter) -> None:
     """Frontier invariants must hold at each cardinality boundary: lists
     sorted best-first, each witness's dominator surviving into its
     frontier, the reported per-cardinality best matching the sink
@@ -99,7 +99,7 @@ def certificate_frontier_invalid(ctx, report):
 
 
 @rule("RPR604", Severity.ERROR, "certificate", legacy="certificate-fixpoint")
-def certificate_fixpoint_invalid(ctx, report):
+def certificate_fixpoint_invalid(ctx: LintContext, report: Reporter) -> None:
     """The noise fixpoint's recorded trace must be self-consistent: every
     ``delta_history`` entry recomputes from consecutive iterates, a
     convergence claim implies the final delta is within tolerance, and
@@ -109,7 +109,7 @@ def certificate_fixpoint_invalid(ctx, report):
 
 
 @rule("RPR605", Severity.ERROR, "certificate", legacy="certificate-bounds")
-def certificate_bounds_violated(ctx, report):
+def certificate_bounds_violated(ctx: LintContext, report: Reporter) -> None:
     """Every delay the solve reported (nominal, estimated, oracle,
     all-aggressor, per-fixpoint) must fall inside the interval abstract
     domain's static circuit bound; with the design at hand the recorded
@@ -118,7 +118,7 @@ def certificate_bounds_violated(ctx, report):
 
 
 @rule("RPR606", Severity.WARNING, "certificate", legacy="certificate-coverage")
-def certificate_coverage_gap(ctx, report):
+def certificate_coverage_gap(ctx: LintContext, report: Reporter) -> None:
     """The proof has a known blind spot: envelope witnesses were sampled
     down (``certify_witnesses``), the solve resumed from a checkpoint
     (pre-resume prunes have no witnesses), or it degraded under budget
@@ -127,7 +127,7 @@ def certificate_coverage_gap(ctx, report):
 
 
 @rule("RPR607", Severity.INFO, "certificate", legacy="certificate-stale")
-def certificate_stale_tool(ctx, report):
+def certificate_stale_tool(ctx: LintContext, report: Reporter) -> None:
     """The certificate was emitted by a different library version than
     the one validating it; the format version still gates compatibility,
     but cross-version validation is worth knowing about."""

@@ -10,7 +10,7 @@ population, convergence tolerance against the circuit delay.
 
 from __future__ import annotations
 
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 #: Minimum grid samples the narrowest pulse should span.
 MIN_PULSE_SAMPLES = 2.0
@@ -20,7 +20,7 @@ COARSE_TOLERANCE_RATIO = 0.05
 
 
 @rule("RPR401", Severity.WARNING, "config", legacy="grid-aliasing")
-def grid_undersampling(ctx, report):
+def grid_undersampling(ctx: LintContext, report: Reporter) -> None:
     """The envelope grid must resolve the narrowest noise pulse: a pulse
     spanning fewer than ~2 grid steps aliases, and scores (hence dominance
     decisions) become grid noise.  Raise ``grid_points`` or question the
@@ -60,7 +60,7 @@ def grid_undersampling(ctx, report):
 
 
 @rule("RPR402", Severity.WARNING, "config", legacy="k-exceeds-couplings")
-def k_exceeds_couplings(ctx, report):
+def k_exceeds_couplings(ctx: LintContext, report: Reporter) -> None:
     """Asking for a top-k set larger than the design's coupling population
     can only return the all-aggressors set — usually a sign the request
     and the design got swapped."""
@@ -72,7 +72,7 @@ def k_exceeds_couplings(ctx, report):
 
 
 @rule("RPR403", Severity.WARNING, "config", legacy="beam-below-k")
-def beam_below_k(ctx, report):
+def beam_below_k(ctx: LintContext, report: Reporter) -> None:
     """A beam cap (``max_sets_per_cardinality``) smaller than ``k`` prunes
     harder than Theorem 1 justifies: the cardinality-k list is built from
     fewer than k survivors per rank, so the reported set may be
@@ -89,7 +89,7 @@ def beam_below_k(ctx, report):
 
 
 @rule("RPR404", Severity.WARNING, "config", legacy="coarse-tolerance")
-def coarse_convergence_tolerance(ctx, report):
+def coarse_convergence_tolerance(ctx: LintContext, report: Reporter) -> None:
     """The iterative analysis' convergence tolerance should be well below
     the circuit delay; a coarse tolerance freezes the window fixpoint
     early and silently under-reports delay noise."""
@@ -110,7 +110,7 @@ def coarse_convergence_tolerance(ctx, report):
 
 
 @rule("RPR405", Severity.INFO, "config", legacy="oracle-disabled")
-def oracle_disabled(ctx, report):
+def oracle_disabled(ctx: LintContext, report: Reporter) -> None:
     """With ``evaluate_with_oracle=False`` the reported delays are the
     solver's superposition estimates, not the exact iterative re-analysis;
     fine for sweeps, but do not sign off on them."""

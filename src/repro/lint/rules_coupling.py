@@ -8,14 +8,14 @@ check exactly those preconditions.
 
 from __future__ import annotations
 
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 #: Coupling-to-ground ratio beyond which the linear pulse model is dubious.
 COUPLING_DOMINANCE_RATIO = 50.0
 
 
 @rule("RPR201", Severity.ERROR, "coupling", legacy="coupling-unknown-net")
-def coupling_unknown_net(ctx, report):
+def coupling_unknown_net(ctx: LintContext, report: Reporter) -> None:
     """Both terminals of a coupling cap must be nets of the design; a
     dangling terminal means the extraction and the netlist disagree."""
     nets = ctx.netlist.nets
@@ -29,7 +29,7 @@ def coupling_unknown_net(ctx, report):
 
 
 @rule("RPR202", Severity.ERROR, "coupling", legacy="coupling-nonpositive")
-def coupling_nonpositive(ctx, report):
+def coupling_nonpositive(ctx: LintContext, report: Reporter) -> None:
     """Coupling capacitance must be strictly positive — a zero or negative
     Cc has no physical meaning and breaks the pulse closed form."""
     for cc in ctx.design.coupling:
@@ -41,7 +41,7 @@ def coupling_nonpositive(ctx, report):
 
 
 @rule("RPR203", Severity.WARNING, "coupling", legacy="coupling-dominates")
-def coupling_dominates_load(ctx, report):
+def coupling_dominates_load(ctx: LintContext, report: Reporter) -> None:
     """A coupling cap that dwarfs the grounded load of its terminals puts
     the charge-sharing peak formula far outside its calibrated regime."""
     netlist = ctx.netlist
@@ -58,7 +58,7 @@ def coupling_dominates_load(ctx, report):
 
 
 @rule("RPR204", Severity.ERROR, "coupling", legacy="self-coupling")
-def self_coupling(ctx, report):
+def self_coupling(ctx: LintContext, report: Reporter) -> None:
     """A net cannot aggress itself; a self-coupling is an extraction
     artifact that would double-count the net's own switching."""
     for cc in ctx.design.coupling:
@@ -70,7 +70,7 @@ def self_coupling(ctx, report):
 
 
 @rule("RPR205", Severity.WARNING, "coupling", legacy="coupling-unloaded")
-def coupling_unloaded_terminal(ctx, report):
+def coupling_unloaded_terminal(ctx: LintContext, report: Reporter) -> None:
     """A coupling whose terminals both have zero grounded capacitance has
     an unbounded coupling ratio — the noise peak saturates at the charge
     sharing limit and the result carries no information."""
@@ -88,7 +88,7 @@ def coupling_unloaded_terminal(ctx, report):
 
 
 @rule("RPR206", Severity.WARNING, "coupling", legacy="missing-parasitics")
-def missing_parasitics(ctx, report):
+def missing_parasitics(ctx: LintContext, report: Reporter) -> None:
     """Couplings exist but no net carries wire RC: the netlist was probably
     never annotated (run ``annotate_parasitics`` or load SPEF), so noise
     pulses will use bare pin loads."""

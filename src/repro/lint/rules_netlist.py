@@ -12,11 +12,11 @@ from ..circuit.netlist import NetlistError
 # Single source of truth lives at the legacy location so pre-framework
 # callers importing it from repro.circuit.validate keep seeing one value.
 from ..circuit.validate import FANOUT_WARNING_THRESHOLD
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 
 @rule("RPR101", Severity.ERROR, "netlist", legacy="undriven-net")
-def undriven_net(ctx, report):
+def undriven_net(ctx: LintContext, report: Reporter) -> None:
     """Every net must have exactly one driver; an undriven net cannot be
     timed and poisons every analysis downstream of it."""
     for name, net in ctx.netlist.nets.items():
@@ -25,7 +25,7 @@ def undriven_net(ctx, report):
 
 
 @rule("RPR102", Severity.WARNING, "netlist", legacy="dangling-net")
-def dangling_net(ctx, report):
+def dangling_net(ctx: LintContext, report: Reporter) -> None:
     """A net with no loads that is not a primary output is unobservable —
     usually a sign of a truncated netlist."""
     for name, net in ctx.netlist.nets.items():
@@ -37,7 +37,7 @@ def dangling_net(ctx, report):
 
 
 @rule("RPR103", Severity.WARNING, "netlist", legacy="high-fanout")
-def high_fanout(ctx, report):
+def high_fanout(ctx: LintContext, report: Reporter) -> None:
     """Fanout beyond the slew model's comfort zone: arrival times stay
     conservative but per-pin slews degrade."""
     for name, net in ctx.netlist.nets.items():
@@ -50,7 +50,7 @@ def high_fanout(ctx, report):
 
 
 @rule("RPR104", Severity.ERROR, "netlist", legacy="no-inputs")
-def no_primary_inputs(ctx, report):
+def no_primary_inputs(ctx: LintContext, report: Reporter) -> None:
     """A design without primary inputs has no arrival sources; every
     window would be vacuous."""
     if not ctx.netlist.primary_inputs:
@@ -58,7 +58,7 @@ def no_primary_inputs(ctx, report):
 
 
 @rule("RPR105", Severity.ERROR, "netlist", legacy="no-outputs")
-def no_primary_outputs(ctx, report):
+def no_primary_outputs(ctx: LintContext, report: Reporter) -> None:
     """A design without primary outputs has no circuit delay to report —
     the top-k objective is undefined."""
     if not ctx.netlist.primary_outputs:
@@ -66,7 +66,7 @@ def no_primary_outputs(ctx, report):
 
 
 @rule("RPR106", Severity.ERROR, "netlist", legacy="cycle")
-def combinational_cycle(ctx, report):
+def combinational_cycle(ctx: LintContext, report: Reporter) -> None:
     """The whole framework assumes a combinational DAG (paper Section 2);
     a cycle makes topological sweeps, STA, and the bottom-up enumeration
     all undefined."""
@@ -80,7 +80,7 @@ def combinational_cycle(ctx, report):
 
 
 @rule("RPR107", Severity.ERROR, "netlist", legacy="negative-parasitic")
-def negative_parasitic(ctx, report):
+def negative_parasitic(ctx: LintContext, report: Reporter) -> None:
     """Wire RC must be non-negative; negative parasitics make delays and
     noise pulses unphysical."""
     for name, net in ctx.netlist.nets.items():

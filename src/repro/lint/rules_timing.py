@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import math
 
-from .framework import Severity, rule
+from .framework import LintContext, Reporter, Severity, rule
 
 #: A late slew longer than this multiple of the circuit delay is suspect.
 EXCESSIVE_SLEW_RATIO = 2.0
 
 
 @rule("RPR301", Severity.ERROR, "timing", legacy="nonpositive-slew")
-def nonpositive_slew(ctx, report):
+def nonpositive_slew(ctx: LintContext, report: Reporter) -> None:
     """Every timed net needs a positive, finite late slew — the victim
     ramp, the noise pulse width and the dominance grid all divide by it."""
     sta = ctx.sta
@@ -34,7 +34,7 @@ def nonpositive_slew(ctx, report):
 
 
 @rule("RPR302", Severity.WARNING, "timing", legacy="zero-circuit-delay")
-def zero_circuit_delay(ctx, report):
+def zero_circuit_delay(ctx: LintContext, report: Reporter) -> None:
     """A zero (or negative) noiseless circuit delay means no primary
     output sits behind any logic — delay-noise analysis is vacuous."""
     sta = ctx.sta
@@ -46,7 +46,7 @@ def zero_circuit_delay(ctx, report):
 
 
 @rule("RPR303", Severity.WARNING, "timing", legacy="unconstrained-endpoint")
-def unconstrained_endpoint(ctx, report):
+def unconstrained_endpoint(ctx: LintContext, report: Reporter) -> None:
     """A primary output driven directly by a primary input carries a
     degenerate [0, 0] window: it cannot accumulate delay noise and only
     dilutes the virtual-sink merge."""
@@ -66,7 +66,7 @@ def unconstrained_endpoint(ctx, report):
 
 
 @rule("RPR304", Severity.WARNING, "timing", legacy="excessive-slew")
-def excessive_slew(ctx, report):
+def excessive_slew(ctx: LintContext, report: Reporter) -> None:
     """A late slew much longer than the whole circuit delay signals an
     overloaded driver; the saturated-ramp aggressor model degrades there."""
     sta = ctx.sta
@@ -88,7 +88,7 @@ def excessive_slew(ctx, report):
 
 
 @rule("RPR305", Severity.WARNING, "timing", legacy="window-inverted")
-def window_inverted(ctx, report):
+def window_inverted(ctx: LintContext, report: Reporter) -> None:
     """Every window must satisfy EAT <= LAT; an inversion would mean the
     earliest transition arrives after the latest one.  A sanitizer for the
     STA engine itself — the window type enforces this, so a finding here

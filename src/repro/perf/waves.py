@@ -57,14 +57,33 @@ def build_waves(graph: TimingGraph, sink: Optional[str] = None) -> List[Wave]:
     return waves
 
 
-def check_wave_independence(graph: TimingGraph, waves: List[Wave]) -> None:
-    """Assert no net's fanin shares its wave (diagnostics and tests)."""
+def wave_conflicts(
+    graph: TimingGraph, waves: List[Wave]
+) -> List[Tuple[int, str, str]]:
+    """Pairs violating wave independence: ``(level, net, fanin_member)``.
+
+    A net sharing a wave with one of its fanin nets is the race the
+    scheduler's correctness argument forbids — the net's sweep reads the
+    fanin's irredundant list *at the same cardinality*, which another
+    chunk of the same wave may still be writing.  Empty = the fanin
+    criterion holds (the :mod:`repro.analysis.waverace` auditor builds
+    the full independence proof on top of this primitive).
+    """
+    conflicts: List[Tuple[int, str, str]] = []
     for wave in waves:
         members = set(wave.nets)
         for net in wave.nets:
-            overlap = members & set(graph.fanin.get(net, ()))
-            if overlap:
-                raise ValueError(
-                    f"wave {wave.level} contains {net!r} and its fanin "
-                    f"{sorted(overlap)}"
-                )
+            for other in sorted(members & set(graph.fanin.get(net, ()))):
+                conflicts.append((wave.level, net, other))
+    return conflicts
+
+
+def check_wave_independence(graph: TimingGraph, waves: List[Wave]) -> None:
+    """Assert no net's fanin shares its wave (diagnostics and tests)."""
+    conflicts = wave_conflicts(graph, waves)
+    if conflicts:
+        level, net, _ = conflicts[0]
+        overlap = sorted(f for lvl, n, f in conflicts if (lvl, n) == (level, net))
+        raise ValueError(
+            f"wave {level} contains {net!r} and its fanin {overlap}"
+        )

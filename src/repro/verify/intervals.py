@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Container, Dict, Mapping, Optional, Tuple
 
+from ..circuit.coupling import CouplingCap
 from ..circuit.design import Design
 from ..noise.pulse import pulse_for_coupling
 from ..timing.delay_models import PRIMARY_INPUT_SLEW, driver_arc
@@ -152,11 +153,97 @@ class DelayBounds:
         )
 
 
+def slew_intervals(
+    design: Design,
+    graph: Optional[TimingGraph] = None,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-net ``[slew_min, slew_max]`` late-slew transfer, topologically.
+
+    Arc output slew is monotone in input slew, so the extreme late slews
+    a net can exhibit under **any** fanin selection (noise can change
+    which input arrives last) are the min/max over fanin of the arcs
+    driven at the fanin's own extreme slews.  The noiseless
+    ``slew_late`` always lies inside this interval.
+    """
+    netlist = design.netlist
+    if graph is None:
+        graph = TimingGraph.from_netlist(netlist)
+    slew_lo: Dict[str, float] = {}
+    slew_hi: Dict[str, float] = {}
+    for net in graph.topo_order:
+        gate = netlist.driver_gate(net)
+        if gate.is_primary_input:
+            slew_lo[net] = slew_hi[net] = PRIMARY_INPUT_SLEW
+        else:
+            slew_lo[net] = min(
+                driver_arc(netlist, net, slew_lo[u]).slew for u in gate.inputs
+            )
+            slew_hi[net] = max(
+                driver_arc(netlist, net, slew_hi[u]).slew for u in gate.inputs
+            )
+    return slew_lo, slew_hi
+
+
+@dataclass(frozen=True)
+class CouplingTransfer:
+    """Static transfer function of one coupling *direction* (cc -> victim).
+
+    Everything the abstract interpreter needs about the direction,
+    precomputed from slew intervals alone — no windows, no envelopes:
+
+    ``peak_ub``
+        Upper bound on the injected pulse peak (evaluated at the
+        aggressor's minimum slew; the peak is decreasing in slew).
+    ``tail``
+        Slew-side upper bound on how far past the aggressor's LAT the
+        primary envelope extends: ``slew_max/2 + decay`` where the decay
+        ``DECAY_TAUS * tau`` depends only on the victim RC and the
+        coupling cap.  The envelope's analytic end time under an
+        aggressor LAT of ``lat`` is then at most ``lat + tail``
+        (:func:`repro.noise.envelope.primary_envelope` ends at
+        ``lat + slew/2 + decay``).
+    """
+
+    index: int
+    victim: str
+    aggressor: str
+    peak_ub: float
+    tail: float
+
+    def t_end_ub(self, aggressor_lat_hi: float) -> float:
+        """Latest possible primary-envelope end for this direction."""
+        return aggressor_lat_hi + self.tail
+
+
+def coupling_transfer(
+    design: Design,
+    cc: CouplingCap,
+    victim: str,
+    slew_lo: Mapping[str, float],
+    slew_hi: Mapping[str, float],
+) -> CouplingTransfer:
+    """Build the :class:`CouplingTransfer` of direction ``cc -> victim``."""
+    aggressor = cc.other(victim)
+    tr_lo = slew_lo.get(aggressor, PRIMARY_INPUT_SLEW)
+    tr_hi = slew_hi.get(aggressor, PRIMARY_INPUT_SLEW)
+    pulse = pulse_for_coupling(design.netlist, cc, victim, tr_lo)
+    return CouplingTransfer(
+        index=cc.index,
+        victim=victim,
+        aggressor=aggressor,
+        peak_ub=pulse.peak,
+        # decay = DECAY_TAUS * tau is slew-independent; the lead/rise
+        # asymmetry contributes slew/2, maximized at the max slew.
+        tail=tr_hi / 2.0 + pulse.decay,
+    )
+
+
 def local_noise_bound(
     design: Design,
     victim: str,
     slew_lo: Mapping[str, float],
     slew_hi: Mapping[str, float],
+    active: Optional[Container[int]] = None,
 ) -> float:
     """Sound bound on the delay noise one superposition step can assign.
 
@@ -166,10 +253,18 @@ def local_noise_bound(
     the engine or oracle can evaluate.  Peaks are computed with each
     aggressor's *minimum* slew (peak is decreasing in aggressor slew)
     and the ramp is stretched to the victim's *maximum* slew.
+
+    ``active`` optionally restricts the sum to those coupling indices —
+    the hook for the semantic dataflow pass, which proves some
+    directions can never inject noise (:mod:`repro.analysis.dataflow`)
+    and tightens ``H`` accordingly.  The restricted bound is sound for
+    any evaluation whose live envelopes are a subset of ``active``.
     """
     netlist = design.netlist
     peak_sum = 0.0
     for cc in design.coupling.aggressors_of(victim):
+        if active is not None and cc.index not in active:
+            continue
         aggressor = cc.other(victim)
         tr = slew_lo.get(aggressor, PRIMARY_INPUT_SLEW)
         peak_sum += pulse_for_coupling(netlist, cc, victim, tr).peak
@@ -202,20 +297,7 @@ def propagate_delay_bounds(
     if graph is None:
         graph = TimingGraph.from_netlist(netlist)
     nominal = run_sta(netlist, graph)
-
-    slew_lo: Dict[str, float] = {}
-    slew_hi: Dict[str, float] = {}
-    for net in graph.topo_order:
-        gate = netlist.driver_gate(net)
-        if gate.is_primary_input:
-            slew_lo[net] = slew_hi[net] = PRIMARY_INPUT_SLEW
-        else:
-            slew_lo[net] = min(
-                driver_arc(netlist, net, slew_lo[u]).slew for u in gate.inputs
-            )
-            slew_hi[net] = max(
-                driver_arc(netlist, net, slew_hi[u]).slew for u in gate.inputs
-            )
+    slew_lo, slew_hi = slew_intervals(design, graph)
 
     bounds = DelayBounds(
         horizon=nominal.horizon(horizon_margin), margin=horizon_margin

@@ -1,0 +1,105 @@
+"""Fact-driven pre-pruning in the engine: bit-identity and witnesses."""
+
+import pytest
+
+from repro.analysis import SemanticFacts, compute_semantic_facts
+from repro.circuit.generator import make_paper_benchmark
+from repro.core.engine import TopKConfig, TopKEngine, TopKError
+from repro.verify import check_certificate
+
+
+@pytest.fixture(scope="module")
+def i3():
+    return make_paper_benchmark("i3")
+
+
+def _solution_key(sol):
+    best = frozenset(sol.best.couplings) if sol.best is not None else None
+    score = sol.best.score if sol.best is not None else None
+    per_card = {
+        c: (frozenset(s.couplings), s.score)
+        for c, s in sol.best_per_cardinality.items()
+    }
+    return best, score, per_card
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", ["addition", "elimination"])
+    def test_pruned_solve_is_bit_identical(self, i3, mode):
+        cfg = TopKConfig()
+        plain = TopKEngine(i3, mode, cfg).solve(3)
+        facts = compute_semantic_facts(i3, mode=mode, config=cfg)
+        engine = TopKEngine(i3, mode, cfg, facts=facts)
+        pruned = engine.solve(3)
+        assert _solution_key(pruned) == _solution_key(plain)
+        assert pruned.stats.primary_aggressors == plain.stats.primary_aggressors
+        assert pruned.stats.semantic_skips > 0
+        assert plain.stats.semantic_skips == 0
+
+    def test_window_filter_off_uses_only_unconditional_proofs(self, i3):
+        cfg = TopKConfig(window_filter=False)
+        plain = TopKEngine(i3, "addition", cfg).solve(2)
+        facts = compute_semantic_facts(i3, config=cfg)
+        engine = TopKEngine(i3, "addition", cfg, facts=facts)
+        pruned = engine.solve(2)
+        assert _solution_key(pruned) == _solution_key(plain)
+        for proof in engine.semantic_skips:
+            assert proof.criterion == "dies-early"
+
+
+class TestWitnesses:
+    def test_every_skip_carries_a_proof(self, i3):
+        cfg = TopKConfig()
+        facts = compute_semantic_facts(i3, config=cfg)
+        engine = TopKEngine(i3, "addition", cfg, facts=facts)
+        engine.solve(2)
+        assert engine.stats.semantic_skips == len(engine.semantic_skips)
+        for proof in engine.semantic_skips:
+            assert facts.proof(proof.coupling, proof.victim) is proof
+
+    def test_stats_survive_json_round_trip(self, i3):
+        from repro.core.engine import SolveStats
+
+        facts = compute_semantic_facts(i3)
+        engine = TopKEngine(i3, "addition", TopKConfig(), facts=facts)
+        engine.solve(2)
+        back = SolveStats.from_json(engine.stats.to_json())
+        assert back.semantic_skips == engine.stats.semantic_skips
+        # Old checkpoints (no field) deserialize to the default.
+        data = engine.stats.to_json()
+        del data["semantic_skips"]
+        assert SolveStats.from_json(data).semantic_skips == 0
+
+
+class TestRejection:
+    def test_wrong_design_raises(self, i3):
+        facts = compute_semantic_facts(make_paper_benchmark("i1"))
+        with pytest.raises(TopKError, match="semantic facts rejected"):
+            TopKEngine(i3, "addition", TopKConfig(), facts=facts)
+
+    def test_wrong_mode_raises(self, i3):
+        facts = compute_semantic_facts(i3, mode="addition")
+        with pytest.raises(TopKError, match="semantic facts rejected"):
+            TopKEngine(i3, "elimination", TopKConfig(), facts=facts)
+
+    def test_facts_from_json_still_prune(self, i3):
+        cfg = TopKConfig()
+        facts = SemanticFacts.from_json(
+            compute_semantic_facts(i3, config=cfg).to_json()
+        )
+        engine = TopKEngine(i3, "addition", cfg, facts=facts)
+        plain = TopKEngine(i3, "addition", cfg).solve(2)
+        assert _solution_key(engine.solve(2)) == _solution_key(plain)
+
+
+class TestCertification:
+    def test_pruned_solve_passes_the_certificate_checker(self, i3):
+        from repro.core.topk_addition import top_k_addition_set
+
+        cfg = TopKConfig(certify=True)
+        facts = compute_semantic_facts(i3, config=cfg)
+        engine = TopKEngine(i3, "addition", cfg, facts=facts)
+        result = top_k_addition_set(i3, 2, cfg, engine=engine)
+        assert result.certificate is not None
+        report = check_certificate(result.certificate, design=i3)
+        assert report.ok, [str(f) for f in report.findings]

@@ -1,0 +1,186 @@
+"""SemanticFacts: serialization, compatibility gating, proof validity."""
+
+import pytest
+
+from repro.analysis import (
+    DIES_EARLY,
+    WINDOWS_DISJOINT,
+    DeadAggressorProof,
+    FactsError,
+    SemanticFacts,
+    compute_semantic_facts,
+    dead_report,
+    semantic_bounds,
+)
+from repro.circuit.cells import default_library
+from repro.circuit.coupling import CouplingGraph
+from repro.circuit.design import Design
+from repro.circuit.generator import make_paper_benchmark
+from repro.circuit.netlist import Netlist
+from repro.core.bruteforce import brute_force_top_k
+from repro.core.engine import TopKConfig
+from repro.noise.analysis import NoiseConfig
+
+
+def long_chain_design(name="chain8", couple_dead=True):
+    """A deep inverter chain: coupling (pi, last net) is provably dead
+    in both directions (the input's pulse dies long before the last
+    net's t50; the windows of the two ends cannot overlap)."""
+    nl = Netlist(name, default_library())
+    nl.add_primary_input("a")
+    prev = "a"
+    for i in range(8):
+        nl.add_gate(f"g{i}", "INV_X1", [prev], f"n{i}")
+        prev = f"n{i}"
+    nl.add_primary_output(prev)
+    nl.check()
+    cg = CouplingGraph(nl)
+    cg.add("n0", "n1", 1.2)  # live: adjacent levels
+    cg.add("n2", "n3", 1.0)  # live
+    if couple_dead:
+        cg.add("a", "n7", 1.0)  # dead both ways: ends of the chain
+    return Design(netlist=nl, coupling=cg)
+
+
+@pytest.fixture(scope="module")
+def i3_facts():
+    return compute_semantic_facts(make_paper_benchmark("i3"))
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, i3_facts):
+        back = SemanticFacts.from_json(i3_facts.to_json())
+        assert back.design_name == i3_facts.design_name
+        assert back.mode == i3_facts.mode
+        assert back.window_filter == i3_facts.window_filter
+        assert back.noise_start == i3_facts.noise_start
+        assert back.widen == i3_facts.widen
+        assert back.proofs == i3_facts.proofs
+        assert back.contribution_ub == i3_facts.contribution_ub
+
+    def test_save_load(self, i3_facts, tmp_path):
+        path = str(tmp_path / "facts.json")
+        i3_facts.save(path)
+        back = SemanticFacts.load(path)
+        assert back.proofs == i3_facts.proofs
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FactsError, match="cannot load"):
+            SemanticFacts.load(str(tmp_path / "nope.json"))
+
+    def test_rejects_wrong_format_version(self, i3_facts):
+        data = i3_facts.to_json()
+        data["format_version"] = 99
+        with pytest.raises(FactsError, match="format"):
+            SemanticFacts.from_json(data)
+
+    def test_rejects_malformed_proof(self):
+        with pytest.raises(FactsError, match="malformed"):
+            DeadAggressorProof.from_json({"coupling": 1, "victim": "v"})
+
+    def test_rejects_unknown_criterion(self):
+        with pytest.raises(FactsError, match="criterion"):
+            DeadAggressorProof.from_json(
+                {
+                    "coupling": 1,
+                    "victim": "v",
+                    "aggressor": "a",
+                    "criterion": "vibes",
+                    "margin": 0.1,
+                }
+            )
+
+
+class TestCompatibility:
+    def test_accepts_matching_config(self, i3_facts):
+        design = make_paper_benchmark("i3")
+        i3_facts.ensure_compatible(design, "addition", TopKConfig())
+
+    def test_rejects_wrong_design(self, i3_facts):
+        other = make_paper_benchmark("i1")
+        with pytest.raises(FactsError, match="design"):
+            i3_facts.ensure_compatible(other, "addition", TopKConfig())
+
+    def test_rejects_wrong_mode(self, i3_facts):
+        design = make_paper_benchmark("i3")
+        with pytest.raises(FactsError, match="mode"):
+            i3_facts.ensure_compatible(design, "elimination", TopKConfig())
+
+    def test_rejects_mismatched_noise_start_for_elimination(self):
+        design = long_chain_design()
+        facts = compute_semantic_facts(design, mode="elimination")
+        pess = TopKConfig(noise=NoiseConfig(start="pessimistic"))
+        with pytest.raises(FactsError, match="noise start"):
+            facts.ensure_compatible(design, "elimination", pess)
+
+    def test_rejects_pessimistic_with_lfp_widening(self):
+        design = long_chain_design()
+        facts = compute_semantic_facts(design, mode="elimination")
+        facts.noise_start = "pessimistic"  # forged: widen stays "fixpoint"
+        pess = TopKConfig(noise=NoiseConfig(start="pessimistic"))
+        with pytest.raises(FactsError, match="pessimistic"):
+            facts.ensure_compatible(design, "elimination", pess)
+
+    def test_pessimistic_config_selects_infinite_widening(self):
+        design = long_chain_design()
+        cfg = TopKConfig(noise=NoiseConfig(start="pessimistic"))
+        facts = compute_semantic_facts(design, mode="elimination", config=cfg)
+        assert facts.widen == "infinite"
+        facts.ensure_compatible(design, "elimination", cfg)
+
+    def test_dead_for_withholds_window_proofs_when_filter_off(self, i3_facts):
+        window_dead = {
+            (p.coupling, p.victim)
+            for p in i3_facts.proofs.values()
+            if p.criterion == WINDOWS_DISJOINT
+        }
+        assert window_dead, "i3 should have windows-disjoint proofs"
+        for idx, victim in window_dead:
+            assert idx in i3_facts.dead_for(victim, window_filter=True)
+            assert idx not in i3_facts.dead_for(victim, window_filter=False)
+
+
+class TestProofValidity:
+    """Dead-aggressor proofs checked against the exhaustive oracle."""
+
+    def test_dead_coupling_never_changes_the_optimum(self):
+        design = long_chain_design("chain8", couple_dead=True)
+        control = long_chain_design("chain8", couple_dead=False)
+        facts = compute_semantic_facts(design)
+        dead = facts.dead_couplings()
+        assert dead == {2}, "the end-to-end coupling must be proven dead"
+        for k in (1, 2):
+            with_dead = brute_force_top_k(design, k)
+            without = brute_force_top_k(control, k)
+            assert with_dead.delay == pytest.approx(without.delay, abs=1e-12)
+
+    def test_dead_directions_have_re_checkable_witnesses(self):
+        design = long_chain_design()
+        facts = compute_semantic_facts(design)
+        bounds = semantic_bounds(design)
+        for key, proof in facts.proofs.items():
+            assert not bounds.active[key]
+            assert proof.criterion == bounds.dead_reason[key]
+            assert proof.margin == bounds.dead_margin[key]
+            assert proof.criterion in (DIES_EARLY, WINDOWS_DISJOINT)
+
+    def test_dead_report_lines(self):
+        facts = compute_semantic_facts(long_chain_design())
+        lines = dead_report(facts)
+        assert len(lines) == len(facts.proofs)
+        assert all("margin" in line for line in lines)
+
+
+class TestReuse:
+    def test_reuses_matching_bounds(self):
+        design = long_chain_design()
+        bounds = semantic_bounds(design)
+        facts = compute_semantic_facts(design, bounds=bounds)
+        assert facts.bounds is bounds
+
+    def test_recomputes_mismatched_regime(self):
+        design = long_chain_design()
+        bounds = semantic_bounds(design, window_filter=False)
+        facts = compute_semantic_facts(design, bounds=bounds)  # filter on
+        assert facts.bounds is not bounds
+        assert facts.bounds.window_filter is True

@@ -1,0 +1,103 @@
+"""The static wave-race auditor: benchmark proofs and pinpointing."""
+
+import pytest
+
+from repro.analysis import CONFLICT_KINDS, audit_wave_partition
+from repro.circuit.generator import make_paper_benchmark
+from repro.core.engine import SINK
+from repro.perf.waves import Wave, build_waves
+from repro.timing.graph import TimingGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return TimingGraph.from_netlist(make_paper_benchmark("i3").netlist)
+
+
+@pytest.fixture
+def waves(graph):
+    return build_waves(graph, sink=SINK)
+
+
+class TestBenchmarkProofs:
+    @pytest.mark.parametrize("name", ["i1", "i2", "i3", "i4", "i5"])
+    def test_scheduler_partition_proven_independent(self, name):
+        g = TimingGraph.from_netlist(make_paper_benchmark(name).netlist)
+        report = audit_wave_partition(g)
+        assert report.proven, [str(c) for c in report.conflicts]
+        assert report.nets == len(g.topo_order) + 1  # + the virtual sink
+        assert "proven independent" in report.summary()
+
+    def test_explicit_waves_match_default(self, graph, waves):
+        assert audit_wave_partition(graph, waves=waves, sink=SINK).proven
+
+    def test_without_sink(self, graph):
+        report = audit_wave_partition(
+            graph, waves=build_waves(graph), sink=None
+        )
+        assert report.proven
+
+
+def _find(report, kind):
+    found = [c for c in report.conflicts if c.kind == kind]
+    assert found, f"expected a {kind} conflict, got {report.conflicts}"
+    return found
+
+
+class TestConflictPinpointing:
+    """Every broken obligation names the conflicting pair."""
+
+    def test_duplicate_net(self, graph, waves):
+        bad = list(waves)
+        extra = Wave(level=bad[1].level, nets=bad[1].nets + (bad[0].nets[0],))
+        bad[1] = extra
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        assert not report.proven
+        dup = _find(report, "duplicate-net")[0]
+        assert dup.net == bad[0].nets[0]
+
+    def test_missing_net(self, graph, waves):
+        dropped = waves[0].nets[0]
+        bad = [Wave(waves[0].level, waves[0].nets[1:])] + list(waves[1:])
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        missing = _find(report, "missing-net")[0]
+        assert missing.net == dropped
+
+    def test_unknown_net(self, graph, waves):
+        bad = [Wave(waves[0].level, waves[0].nets + ("ghost",))] + list(waves[1:])
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        unknown = _find(report, "unknown-net")[0]
+        assert unknown.net == "ghost"
+
+    def test_fanin_shared_wave_names_the_pair(self, graph, waves):
+        # Merge two adjacent waves: some net now shares a wave with its fanin.
+        merged = Wave(waves[0].level, waves[0].nets + waves[1].nets)
+        bad = [merged] + list(waves[2:])
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        conflict = _find(report, "fanin-shared-wave")[0]
+        assert conflict.other in graph.fanin[conflict.net]
+
+    def test_level_inversion(self, graph, waves):
+        bad = [waves[1], waves[0]] + list(waves[2:])
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        conflict = _find(report, "level-inversion")[0]
+        assert conflict.other in graph.fanin[conflict.net]
+
+    def test_sink_not_isolated(self, graph, waves):
+        merged = Wave(
+            waves[-1].level, waves[-2].nets + waves[-1].nets
+        )
+        bad = list(waves[:-2]) + [merged]
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        conflict = _find(report, "sink-not-isolated")[0]
+        assert conflict.net == SINK
+        assert "NOT independent" in report.summary()
+
+    def test_kind_vocabulary_is_closed(self, graph, waves):
+        bad = [Wave(waves[0].level, waves[0].nets + ("ghost",))] + list(
+            waves[1:]
+        )
+        report = audit_wave_partition(graph, waves=bad, sink=SINK)
+        for conflict in report.conflicts:
+            assert conflict.kind in CONFLICT_KINDS
+            assert str(conflict)  # renders without crashing

@@ -96,3 +96,33 @@ class TestLoadErrors:
         )
         with pytest.raises(BaselineError, match="counts"):
             Baseline.load(str(path))
+
+
+class TestEditedDesignRoundTrip:
+    """Accept debt, edit the design, and only the new findings surface."""
+
+    def test_only_new_findings_survive_an_edit(self, tmp_path):
+        nl = clean_netlist("base")
+        nl.add_net("floating")
+        first = run_lint(nl)
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(first).save(str(path))
+        baseline = Baseline.load(str(path))
+        assert baseline.filter(first).findings == []
+
+        # Edit: a second defect appears alongside the accepted one.
+        nl.add_net("floating2")
+        second = run_lint(nl)
+        fresh = baseline.filter(second)
+        assert {f.location for f in fresh.findings} == {"net:floating2"}
+        assert len(second.findings) - len(fresh.findings) == len(first.findings)
+
+    def test_semantic_findings_round_trip(self, tmp_path):
+        from repro.circuit.generator import make_paper_benchmark
+
+        design = make_paper_benchmark("i3")
+        report = run_lint(design)
+        assert any(f.code == "RPR701" for f in report.findings)
+        path = tmp_path / "sem.json"
+        Baseline.from_report(report).save(str(path))
+        assert Baseline.load(str(path)).filter(report).findings == []

@@ -147,3 +147,55 @@ class TestSeedNormalization:
         b = design_from_args(self._args(["--gates", "20", "--seed", str(DEFAULT_SEED)]))
         assert len(a.coupling) == len(b.coupling)
         assert sorted(a.netlist.nets) == sorted(b.netlist.nets)
+
+
+class TestTiers:
+    def test_semantic_tier_runs_clean(self, capsys):
+        assert lint_main(["--benchmark", "i1", "--tier", "semantic"]) == 0
+
+    def test_semantic_tier_includes_rpr7(self, capsys):
+        assert lint_main(["--benchmark", "i3", "--tier", "semantic"]) == 0
+        assert "RPR701" in capsys.readouterr().out
+
+    def test_static_tier_excludes_rpr7(self, capsys):
+        assert lint_main(["--benchmark", "i3", "--tier", "static"]) == 0
+        assert "RPR7" not in capsys.readouterr().out
+
+    def test_audit_tier_without_solve_exits_3(self, capsys):
+        assert lint_main(["--benchmark", "i1", "--tier", "audit"]) == 3
+        err = capsys.readouterr().err
+        assert "--audit" in err and "solved" in err
+
+    def test_audit_tier_with_solve_runs(self, capsys):
+        code = lint_main(
+            ["--benchmark", "i1", "--tier", "audit", "--audit", "--k", "2"]
+        )
+        assert code == 0
+
+    def test_certificate_tier_names_the_missing_input(self, capsys):
+        assert lint_main(["--benchmark", "i1", "--tier", "certificate"]) == 3
+        err = capsys.readouterr().err
+        assert "repro-certify" in err and "certificate" in err
+
+    def test_sarif_with_semantic_tier(self, tmp_path, capsys):
+        out = tmp_path / "sem.sarif"
+        code = lint_main(
+            [
+                "--benchmark",
+                "i3",
+                "--tier",
+                "semantic",
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        rules = {
+            r["id"]
+            for run in payload["runs"]
+            for r in run["tool"]["driver"]["rules"]
+        }
+        assert any(r.startswith("RPR7") for r in rules)

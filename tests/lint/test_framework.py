@@ -183,3 +183,67 @@ class TestRunLint:
     def test_categories_filter(self):
         report = run_lint(clean_design(), categories=("netlist",))
         assert "RPR206" not in codes(report)
+
+
+class TestSemanticContext:
+    """The LintContext's cached graph/semantic/wave-audit views."""
+
+    def test_graph_and_topo_order_cached(self):
+        from repro.lint.framework import LintContext
+
+        design = clean_design()
+        ctx = LintContext(netlist=design.netlist, design=design)
+        assert ctx.graph is ctx.graph
+        assert ctx.topo_order == ctx.graph.topo_order
+
+    def test_semantic_and_wave_audit_memoized(self):
+        from repro.lint.framework import LintContext
+
+        design = clean_design()
+        ctx = LintContext(netlist=design.netlist, design=design)
+        assert ctx.semantic is ctx.semantic
+        assert ctx.wave_audit is ctx.wave_audit
+        assert ctx.wave_audit.proven
+
+    def test_broken_structure_yields_none_not_a_crash(self, netlist):
+        from repro.lint.framework import LintContext
+
+        netlist.add_net("floating")  # undriven: no topological order
+        ctx = LintContext(netlist=netlist)
+        assert ctx.graph is None
+        assert ctx.topo_order is None
+        assert ctx.sta is None
+        assert ctx.semantic is None
+        assert ctx.wave_audit is None
+
+    def test_crashing_semantic_rule_is_contained(self):
+        design = clean_design()
+
+        @rule("RPR798", Severity.WARNING, "semantic")
+        def semantic_explosive(ctx, report):
+            """Always crashes (test rule)."""
+            raise RuntimeError("semantic boom")
+
+        try:
+            report = run_lint(design)
+            crash = [f for f in report.findings if f.code == "RPR798"]
+            assert len(crash) == 1
+            assert crash[0].severity is Severity.ERROR
+            assert "semantic boom" in crash[0].message
+            # The crash must not poison the other semantic rules.
+            assert "RPR701" not in {f.code for f in report.findings if f.severity is Severity.ERROR}
+        finally:
+            del RULE_REGISTRY["RPR798"]
+
+    def test_semantic_category_needs_a_design(self):
+        from repro.lint.framework import LintContext, RULE_REGISTRY
+
+        netlist_only = LintContext(netlist=clean_design().netlist)
+        with_design = LintContext(
+            netlist=clean_design().netlist, design=clean_design()
+        )
+        semantic = [r for r in RULE_REGISTRY.values() if r.category == "semantic"]
+        assert semantic
+        for r in semantic:
+            assert not r.applicable(netlist_only)
+            assert r.applicable(with_design)
