@@ -119,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-chunk-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "pool re-submissions granted to a failed/timed-out chunk "
+            "before it is salvaged in-process (parallel runs only; "
+            "default 2, see docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "declare one pool chunk attempt hung after S seconds and "
+            "retry it (parallel runs only; default: no per-chunk timeout)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -246,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_path=args.checkpoint,
         max_candidates=args.max_candidates,
         convergence_retries=args.convergence_retries,
+        max_chunk_retries=args.max_chunk_retries,
+        chunk_timeout_s=args.chunk_timeout,
         trace=args.trace,
     )
     print(result.summary())

@@ -87,6 +87,7 @@ from ..runtime.errors import (
     ReproError,
     WaveformFaultError,
 )
+from ..runtime.supervisor import ExecIncident
 from ..timing.delay_models import driver_arc
 from ..timing.graph import TimingGraph
 from ..timing.sta import TimingResult, run_sta
@@ -186,6 +187,17 @@ class TopKConfig:
         bit-exact with the serial path in either setting; budget ticks
         are enforced at wave granularity when parallel.  See
         ``docs/performance.md``.
+    max_chunk_retries:
+        Pool-level retries granted per chunk before the parent runs the
+        chunk in-process (the supervised scheduler's per-chunk
+        :class:`~repro.runtime.supervisor.RetryPolicy`).  ``0`` means
+        one pool attempt, then straight to in-process.  Only meaningful
+        with ``parallelism > 1``; recovery is always bit-exact.  See
+        ``docs/robustness.md`` ("Failure handling & supervision").
+    chunk_timeout_s:
+        Wall-clock bound on a single pool attempt at one chunk; a chunk
+        exceeding it is treated as hung and retried (``None`` = no
+        per-chunk timeout).  Only meaningful with ``parallelism > 1``.
     trace:
         Record a span trace of the whole solve pipeline (sweeps, noise
         fixpoints, waves and worker chunks, checkpoints, certificates)
@@ -215,6 +227,8 @@ class TopKConfig:
     certify: bool = False
     certify_witnesses: Optional[int] = 512
     parallelism: int = 1
+    max_chunk_retries: int = 2
+    chunk_timeout_s: Optional[float] = None
     trace: bool = False
     profile: bool = False
 
@@ -228,6 +242,10 @@ class TopKConfig:
             raise TopKError("oracle_rescore_top must be >= 1")
         if self.parallelism < 1:
             raise TopKError("parallelism must be >= 1")
+        if self.max_chunk_retries < 0:
+            raise TopKError("max_chunk_retries must be >= 0")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise TopKError("chunk_timeout_s must be > 0 or None")
         if self.certify_witnesses is not None and self.certify_witnesses < 1:
             raise TopKError("certify_witnesses must be >= 1 or None")
         if self.certify and not self.noise.record_trace:
@@ -251,10 +269,19 @@ _COUNTER_FIELDS = (
     "semantic_skips",
 )
 
-#: SolveStats fields describing *how* the solve executed (scheduling and
-#: cache behavior).  These legitimately differ between serial and
-#: parallel runs and are excluded from bit-exactness comparisons.
-_EXECUTION_FIELDS = ("waves", "parallel_tasks")
+#: SolveStats fields describing *how* the solve executed (scheduling,
+#: cache, and failure-recovery behavior).  These legitimately differ
+#: between serial and parallel runs — and between clean and recovered
+#: runs — and are excluded from bit-exactness comparisons.
+_EXECUTION_FIELDS = (
+    "waves",
+    "parallel_tasks",
+    "chunk_retries",
+    "chunk_timeouts",
+    "pool_respawns",
+    "exec_fallbacks",
+    "quarantined_chunks",
+)
 
 
 @dataclass
@@ -273,7 +300,15 @@ class SolveStats:
       memoization layer (:mod:`repro.perf.memo`), including the worker
       processes' caches when the solve ran parallel;
     * ``waves`` / ``parallel_tasks`` — how many waves the scheduler
-      dispatched and how many worker chunks it shipped.
+      dispatched and how many worker chunks it shipped;
+    * ``chunk_retries`` / ``chunk_timeouts`` / ``pool_respawns`` /
+      ``exec_fallbacks`` / ``quarantined_chunks`` — the supervised
+      scheduler's recovery ledger (``docs/robustness.md``): pool-level
+      chunk re-submissions, per-chunk timeouts observed, pool respawns
+      after breaks, serial/in-process fallbacks taken, and chunks
+      quarantined away from the pool.  All zero on a clean run — a
+      nonzero value is how a recovered run distinguishes itself from a
+      clean one with identical results.
     """
 
     victims: int = 0
@@ -285,6 +320,11 @@ class SolveStats:
     semantic_skips: int = 0
     waves: int = 0
     parallel_tasks: int = 0
+    chunk_retries: int = 0
+    chunk_timeouts: int = 0
+    pool_respawns: int = 0
+    exec_fallbacks: int = 0
+    quarantined_chunks: int = 0
     phase_s: Dict[str, float] = field(default_factory=dict)
     cache_hits: Dict[str, int] = field(default_factory=dict)
     cache_misses: Dict[str, int] = field(default_factory=dict)
@@ -395,7 +435,10 @@ class EngineSolution:
 
     ``degraded`` marks a solution produced under budget pressure (beam
     narrowed and/or sweep halted early); ``degradation`` carries the
-    ladder's per-victim provenance.
+    ladder's per-victim provenance.  ``exec_incidents`` is the
+    supervised scheduler's failure/recovery ledger — non-empty whenever
+    the execution layer had to retry, respawn, quarantine, or fall back,
+    even when the results themselves are exact.
     """
 
     mode: str
@@ -408,6 +451,7 @@ class EngineSolution:
     all_aggressor_delay: Optional[float]
     degraded: bool = False
     degradation: Optional[DegradationReport] = None
+    exec_incidents: List[ExecIncident] = field(default_factory=list)
 
     def estimated_delay(self, cardinality: Optional[int] = None) -> Optional[float]:
         """Solver-side circuit-delay estimate for the chosen set."""
@@ -469,6 +513,11 @@ class TopKEngine:
         budget = self.config.budget
         self.monitor = RuntimeMonitor(budget)
         self.degradation: Optional[DegradationReport] = None
+        #: Execution-layer failure provenance (chunk retries, pool
+        #: respawns, quarantines) recorded by the supervised wave
+        #: scheduler.  Incidents do not imply degraded results — a
+        #: recovered solve is bit-identical to a clean one.
+        self.exec_incidents: List[ExecIncident] = []
         self._rung = 0
         self._beam_cap = self.config.max_sets_per_cardinality
         self._scheduler = None  # lazily built wave scheduler (parallelism > 1)
@@ -1117,8 +1166,11 @@ class TopKEngine:
         order, so the irredundant lists — and hence the solution — are
         bit-exact with the serial path.  Budget ticks run in the parent
         at wave granularity; checkpoints still land at cardinality
-        boundaries.  On any pool-level failure the scheduler falls back
-        to sweeping serially (with a warning) rather than losing work.
+        boundaries.  Pool-level failures are supervised per chunk:
+        retried with seeded backoff, salvaged in-process on the final
+        attempt, and recorded as :class:`ExecIncident` provenance — the
+        scheduler only abandons process parallelism (with a warning)
+        once its respawn budget or the pool's health is spent.
         """
         from ..perf.scheduler import WaveScheduler
 
@@ -1188,6 +1240,11 @@ class TopKEngine:
                 best_per_card[i] = self._pick_best(cands)
         finalists.sort(key=self._rank_key)
         best = finalists[0] if finalists else None
+        if self.degradation is not None and self.exec_incidents:
+            # A degraded run with execution incidents tells the whole
+            # story in one record (the report is the provenance callers
+            # already inspect).
+            self.degradation.exec_incidents = list(self.exec_incidents)
         return EngineSolution(
             mode=self.mode,
             k=k,
@@ -1199,6 +1256,7 @@ class TopKEngine:
             all_aggressor_delay=self.all_aggressor_delay,
             degraded=self.degradation is not None,
             degradation=self.degradation,
+            exec_incidents=list(self.exec_incidents),
         )
 
     def _rank_key(self, cand: EnvelopeSet):

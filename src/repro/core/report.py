@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple
 
 from ..circuit.design import Design
 from ..runtime.degrade import DegradationReport
+from ..runtime.supervisor import ExecIncident
 from .engine import SolveStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +70,13 @@ class TopKResult:
     degradation:
         The degradation ladder's record (reason, rung, completed
         cardinality, per-victim drop provenance) when ``degraded``.
+    exec_incidents:
+        The supervised scheduler's failure/recovery ledger (chunk
+        retries, pool respawns, quarantines — see
+        ``docs/robustness.md``).  Non-empty entries with
+        ``recovered=True`` mean the run survived execution failures
+        *without* degrading: the couplings and scores are bit-identical
+        to a clean run; this field is provenance, not apology.
     certificate:
         The proof-carrying :class:`~repro.verify.Certificate` of the
         solve when the query ran with ``certify=True``; ``None``
@@ -93,6 +101,7 @@ class TopKResult:
     lint_report: Optional["LintReport"] = None
     degraded: bool = False
     degradation: Optional[DegradationReport] = None
+    exec_incidents: Tuple[ExecIncident, ...] = ()
     certificate: Optional["Certificate"] = None
     trace: Optional["Trace"] = None
 
@@ -129,6 +138,12 @@ class TopKResult:
             )
         elif self.degraded:
             lines.append("  DEGRADED: partial result (budget exhausted)")
+        if self.exec_incidents:
+            recovered = sum(1 for inc in self.exec_incidents if inc.recovered)
+            lines.append(
+                f"  {len(self.exec_incidents)} execution incident(s), "
+                f"{recovered} recovered (results exact; see exec_incidents)"
+            )
         if self.all_aggressor_delay is not None:
             lines.append(
                 f"  all-aggressor delay  : {self.all_aggressor_delay:.4f} ns"

@@ -55,6 +55,13 @@ class BenchCircuit:
     parallel_tasks: int
     cache_rates: Dict[str, float] = field(default_factory=dict)
     phase_s: Dict[str, float] = field(default_factory=dict)
+    #: Supervised-execution ledger of the parallel measurement: nonzero
+    #: values mean the timing survived real recoveries (retried chunks,
+    #: respawned pools, serial fallbacks) and should be read with that
+    #: in mind.  All zero on a healthy host.
+    chunk_retries: int = 0
+    pool_respawns: int = 0
+    exec_fallbacks: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return asdict(self)
@@ -185,8 +192,24 @@ def run_bench(
                 phase_s={
                     p: round(s, 4) for p, s in sorted(stats.phase_s.items())
                 },
+                chunk_retries=(
+                    parallel.stats.chunk_retries if parallelism > 1 else 0
+                ),
+                pool_respawns=(
+                    parallel.stats.pool_respawns if parallelism > 1 else 0
+                ),
+                exec_fallbacks=(
+                    parallel.stats.exec_fallbacks if parallelism > 1 else 0
+                ),
             )
             report.circuits.append(entry)
+            recovery = ""
+            if entry.chunk_retries or entry.pool_respawns or entry.exec_fallbacks:
+                recovery = (
+                    f" [recovered: {entry.chunk_retries} retry(s), "
+                    f"{entry.pool_respawns} respawn(s), "
+                    f"{entry.exec_fallbacks} fallback(s)]"
+                )
             log(
                 f"{name}/{mode}: serial {entry.serial_s:.2f}s"
                 + (
@@ -195,6 +218,7 @@ def run_bench(
                     if entry.parallel_s is not None
                     else ""
                 )
+                + recovery
             )
     return report
 

@@ -26,15 +26,47 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..runtime import faultinject
 from .memo import counter_delta, global_cache_stats
 from .snapshot import pack_sets, unpack_sets
 
 #: The per-process engine replica (set once by :func:`init_worker`).
 _ENGINE = None
+
+#: Default hang duration when an injected ``chunk_hang`` carries no
+#: ``param`` — long enough that any sane ``chunk_timeout_s`` fires.
+_DEFAULT_HANG_S = 2.0
+
+
+def _maybe_inject_pool_faults(site: str) -> None:
+    """Worker-side chaos guards for the pool fault kinds.
+
+    Pool workers inherit the parent's installed
+    :class:`~repro.runtime.faultinject.FaultInjector` through the
+    ``fork`` start method (the pool is created mid-solve, after
+    ``injected(...)`` installs it), so the chaos suite can kill, hang,
+    or corrupt specific chunks without any extra IPC.  No-ops when no
+    injector is active — production runs never pay for this.
+    """
+    injector = faultinject.active()
+    if injector is None:
+        return
+    if injector.fires("worker_kill", site):
+        # Die the way a real crash does: no exception, no cleanup, the
+        # parent only sees BrokenProcessPool.
+        os._exit(13)
+    hang = injector.fires_value("chunk_hang", site)
+    if hang is not None:
+        time.sleep(hang if hang > 0 else _DEFAULT_HANG_S)
+    if injector.fires("payload_corrupt", site):
+        raise pickle.UnpicklingError(
+            f"injected chunk payload corruption at {site}"
+        )
 
 
 def init_worker(engine_bytes: bytes) -> None:
@@ -99,7 +131,9 @@ def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     engine = _ENGINE
     assert engine is not None, "worker used before init_worker ran"
+    t_start = time.perf_counter()
     i = int(payload["i"])
+    _maybe_inject_pool_faults(f"{payload['nets'][0]}@k{i}")
     engine._beam_cap = payload["beam_cap"]
     for (net, card), packed in payload["deps"].items():
         engine.contexts[net].ilists[card] = unpack_sets(packed)
@@ -168,6 +202,10 @@ def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
             else []
         ),
         "worker": worker_label,
+        # Heartbeat for the parent's HealthTracker: the worker's own
+        # monotonic clock plus the chunk's compute time.
+        "heartbeat": time.monotonic(),
+        "elapsed_s": time.perf_counter() - t_start,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "prunes": list(engine.prune_log),

@@ -13,6 +13,11 @@ This package supplies the pieces the solver stack is wired through:
   per-victim provenance (:class:`DegradationReport`);
 * :mod:`~repro.runtime.checkpoint` — JSON snapshot/resume of engine
   frontiers at cardinality boundaries;
+* :mod:`~repro.runtime.supervisor` — bounded-retry policies with seeded
+  backoff and the execution-incident provenance records behind the
+  supervised wave scheduler;
+* :mod:`~repro.runtime.health` — parent-side worker heartbeat/health
+  tracking and per-chunk wall-clock budgeting;
 * :mod:`~repro.runtime.faultinject` — the seeded chaos harness driving
   ``tests/chaos/``.
 
@@ -35,25 +40,41 @@ from .checkpoint import (
 )
 from .faultinject import (
     FAULT_KINDS,
+    POOL_FAULT_KINDS,
     FaultInjector,
     FaultSpec,
     injected,
 )
+from .health import ChunkClock, HealthTracker, WorkerHealth
+from .supervisor import (
+    AttemptRecord,
+    ExecIncident,
+    RetryPolicy,
+    Supervision,
+)
 
 __all__ = [
+    "AttemptRecord",
     "BudgetExceededError",
     "CHECKPOINT_VERSION",
     "CertificateError",
     "CheckpointError",
+    "ChunkClock",
     "DegradationReport",
+    "ExecIncident",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
+    "HealthTracker",
     "ON_BUDGET_MODES",
+    "POOL_FAULT_KINDS",
     "ReproError",
+    "RetryPolicy",
     "RunBudget",
     "RuntimeMonitor",
+    "Supervision",
     "VictimDegradation",
     "WaveformFaultError",
+    "WorkerHealth",
     "injected",
 ]

@@ -156,6 +156,18 @@ class RuntimeMonitor:
     def frontier_mb(self) -> float:
         return self.frontier_bytes / 1e6
 
+    def remaining_s(self) -> Optional[float]:
+        """Wall-clock seconds left under the deadline (None = unbounded).
+
+        Never negative; used by the supervised scheduler to clamp retry
+        backoff and chunk waits so recovery work cannot outlive the
+        solve's own budget.
+        """
+        deadline = self.budget.deadline_s
+        if deadline is None:
+            return None
+        return max(0.0, deadline - self.elapsed())
+
     # -- exhaustion tests ----------------------------------------------
     def deadline_exceeded(self, site: str = "") -> bool:
         """True when the wall-clock deadline (real or injected) passed."""

@@ -21,7 +21,9 @@ see exactly what the partial answer cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+from .supervisor import ExecIncident
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,13 @@ class DegradationReport:
         Wall-clock seconds when the ladder was (last) climbed.
     victims:
         Per-victim drop provenance from beam narrowing.
+    exec_incidents:
+        Execution-layer failure provenance (chunk retries, pool
+        respawns, quarantines — see
+        :mod:`repro.runtime.supervisor`) observed during the degraded
+        solve.  Incidents do not themselves imply degradation: recovered
+        chunks produce bit-identical results; they are recorded here so
+        a degraded *and* fault-ridden run tells the whole story.
     """
 
     reason: str
@@ -70,6 +79,7 @@ class DegradationReport:
     beam_width: Optional[int] = None
     elapsed_s: float = 0.0
     victims: List[VictimDegradation] = field(default_factory=list)
+    exec_incidents: List[ExecIncident] = field(default_factory=list)
 
     @property
     def partial(self) -> bool:
@@ -103,9 +113,15 @@ class DegradationReport:
             lines.append(
                 f"  implied optimality gap <= {self.optimality_gap():.6f} ns"
             )
+        if self.exec_incidents:
+            recovered = sum(1 for inc in self.exec_incidents if inc.recovered)
+            lines.append(
+                f"  {len(self.exec_incidents)} execution incident(s) "
+                f"({recovered} recovered); see exec_incidents for provenance"
+            )
         return "\n".join(lines)
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, Any]:
         return {
             "reason": self.reason,
             "rung": self.rung,
@@ -122,5 +138,8 @@ class DegradationReport:
                     "best_dropped_score": v.best_dropped_score,
                 }
                 for v in self.victims
+            ],
+            "exec_incidents": [
+                inc.to_json() for inc in self.exec_incidents
             ],
         }

@@ -18,7 +18,7 @@ work:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple, Type, cast
 
 
 class ReproError(Exception):
@@ -50,7 +50,7 @@ class ReproError(Exception):
         ctx = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
         return f"{self.message} [{ctx}]"
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Default Exception pickling replays only ``args`` (the bare
         # message) and would drop the keyword context — errors raised in
         # wave-scheduler worker processes must cross the process
@@ -60,15 +60,17 @@ class ReproError(Exception):
     @property
     def net(self) -> Optional[str]:
         """The victim/net the failure is attributed to, when known."""
-        return self.context.get("net")
+        return cast(Optional[str], self.context.get("net"))
 
     @property
     def phase(self) -> Optional[str]:
         """The solve phase (``sweep``, ``score``, ``noise``, ...)."""
-        return self.context.get("phase")
+        return cast(Optional[str], self.context.get("phase"))
 
 
-def _rebuild_error(cls, message: str, context: Dict[str, Any]) -> "ReproError":
+def _rebuild_error(
+    cls: Type["ReproError"], message: str, context: Dict[str, Any]
+) -> "ReproError":
     """Unpickle hook for :meth:`ReproError.__reduce__`."""
     return cls(message, **context)
 

@@ -1,0 +1,340 @@
+"""Pool-layer chaos: supervised parallel execution survives real failures.
+
+The acceptance bar of the supervision layer (``docs/robustness.md``):
+under seeded injection of every pool fault kind — killed workers, hung
+chunks, corrupted payloads, broken pools — a parallel solve must either
+recover to results *bit-identical* to the serial path (certificates
+included) or record exactly why it could not, with the whole story in
+``exec_incidents`` / ``SolveStats``; ``degraded`` stays False because
+execution incidents never change the answer.
+
+Worker-side fault guards rely on pool workers inheriting the installed
+injector through the ``fork`` start method; those tests are skipped on
+platforms that spawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+
+import pytest
+
+from repro.api import analyze
+from repro.circuit.generator import random_design
+from repro.core.engine import TopKConfig, TopKEngine
+from repro.runtime import FaultSpec, RunBudget, injected
+from repro.runtime.checkpoint import load_checkpoint
+from repro.verify import check_certificate
+
+# Enforced by pytest-timeout in CI; inert (registered marker) locally.
+pytestmark = pytest.mark.timeout(300)
+
+#: Worker-side guards need the injector inherited into pool processes.
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-side fault injection requires the fork start method",
+)
+
+MODES = ("addition", "elimination")
+
+
+@pytest.fixture(scope="module")
+def design():
+    return random_design("chaos", n_gates=30, target_caps=60, seed=5)
+
+
+@pytest.fixture(scope="module")
+def serial(design):
+    """The uninjected serial reference both modes compare against."""
+    out = {}
+    for mode in MODES:
+        with TopKEngine(design, mode, TopKConfig()) as engine:
+            out[mode] = engine.solve(3)
+    return out
+
+
+def _solve_parallel(design, mode, k=3, specs=(), seed=7, **cfg_kwargs):
+    """One parallel solve under injection, collecting warnings."""
+    config = TopKConfig(parallelism=2, **cfg_kwargs)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with injected(*specs, seed=seed):
+            with TopKEngine(design, mode, config) as engine:
+                solution = engine.solve(k)
+    return solution, caught
+
+
+def assert_bit_identical(reference, solution):
+    assert (reference.best is None) == (solution.best is None)
+    if reference.best is not None:
+        assert reference.best.couplings == solution.best.couplings
+        assert reference.best.score == solution.best.score
+        assert reference.estimated_delay() == solution.estimated_delay()
+    assert [c.couplings for c in reference.finalists] == [
+        c.couplings for c in solution.finalists
+    ]
+    assert [c.score for c in reference.finalists] == [
+        c.score for c in solution.finalists
+    ]
+    assert reference.stats.core_counters() == solution.stats.core_counters()
+
+
+@fork_only
+@pytest.mark.parametrize("mode", MODES)
+def test_worker_kill_recovers_bit_identical(design, serial, mode):
+    """Killing workers mid-wave must not change a single bit."""
+    solution, _ = _solve_parallel(
+        design, mode, specs=[FaultSpec("worker_kill", target="@k2", count=1)]
+    )
+    assert_bit_identical(serial[mode], solution)
+    assert not solution.degraded
+    # The kill was observed and survived: the pool broke at least once.
+    assert solution.stats.pool_respawns >= 1
+    assert solution.exec_incidents
+    assert all(
+        inc.recovered or inc.kind in ("pool_respawn", "serial_fallback")
+        for inc in solution.exec_incidents
+    )
+
+
+@fork_only
+def test_worker_kill_certificate_still_validates(design, serial):
+    """Recovered chaos runs emit certificates the checker accepts."""
+    from repro.core.topk_addition import top_k_addition_set
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with injected(
+            FaultSpec("worker_kill", target="@k2", count=1), seed=7
+        ):
+            result = top_k_addition_set(
+                design, 3, TopKConfig(parallelism=2, certify=True)
+            )
+    assert result.certificate is not None
+    report = check_certificate(result.certificate, design=design)
+    assert report.ok, report.summary()
+    assert result.couplings == (
+        serial["addition"].best.couplings
+        if serial["addition"].best
+        else frozenset()
+    )
+
+
+@fork_only
+def test_hung_chunk_times_out_and_recovers(design, serial):
+    """A wedged worker is cut off by chunk_timeout_s and the chunk retried."""
+    solution, _ = _solve_parallel(
+        design,
+        "addition",
+        specs=[FaultSpec("chunk_hang", target="@k2", count=1, param=5.0)],
+        chunk_timeout_s=0.3,
+    )
+    assert_bit_identical(serial["addition"], solution)
+    assert solution.stats.chunk_timeouts >= 1
+    kinds = {inc.kind for inc in solution.exec_incidents}
+    assert "chunk_timeout" in kinds
+
+
+@fork_only
+def test_corrupt_payload_is_retried(design, serial):
+    solution, _ = _solve_parallel(
+        design,
+        "addition",
+        specs=[FaultSpec("payload_corrupt", target="@k2", count=1)],
+    )
+    assert_bit_identical(serial["addition"], solution)
+    assert solution.stats.chunk_retries + solution.stats.exec_fallbacks >= 1
+    failures = [
+        inc
+        for inc in solution.exec_incidents
+        if inc.kind == "chunk_failure"
+    ]
+    assert failures
+    assert all(inc.recovered for inc in failures)
+    # Provenance names the real exception.
+    assert any("UnpicklingError" in inc.reason for inc in failures)
+
+
+def test_pool_break_triggers_supervised_respawn(design, serial):
+    """Parent-side pool break: respawn with backoff, no serial redo."""
+    solution, _ = _solve_parallel(
+        design,
+        "addition",
+        specs=[FaultSpec("pool_break", target="@k2", count=1)],
+    )
+    assert_bit_identical(serial["addition"], solution)
+    assert solution.stats.pool_respawns == 1
+    respawns = [
+        inc for inc in solution.exec_incidents if inc.kind == "pool_respawn"
+    ]
+    assert len(respawns) == 1
+    assert respawns[0].resolution == "pool-retry"
+
+
+def test_respawn_budget_exhaustion_falls_back_loudly(design, serial):
+    """Unbounded pool breaks: bounded respawns, then one loud fallback."""
+    from repro.perf.scheduler import MAX_POOL_RESPAWNS
+
+    solution, caught = _solve_parallel(
+        design, "addition", specs=[FaultSpec("pool_break")]
+    )
+    assert_bit_identical(serial["addition"], solution)
+    assert not solution.degraded  # exact results, only the path degraded
+    assert solution.stats.pool_respawns == MAX_POOL_RESPAWNS
+    assert solution.stats.exec_fallbacks >= 1
+    kinds = [inc.kind for inc in solution.exec_incidents]
+    assert kinds.count("serial_fallback") == 1
+    fallback_warnings = [
+        w
+        for w in caught
+        if issubclass(w.category, RuntimeWarning)
+        and "fell back to serial" in str(w.message)
+    ]
+    assert len(fallback_warnings) == 1
+    # The original exception survives into the warning text.
+    assert "pool break" in str(fallback_warnings[0].message)
+
+
+@fork_only
+def test_repeated_chunk_failure_quarantines(design, serial):
+    """A chunk that always fails on the pool is quarantined with a reason."""
+    solution, caught = _solve_parallel(
+        design,
+        "addition",
+        # Unlimited corruption at one site: every pool attempt of the
+        # matching chunk fails, so its retry budget exhausts and the
+        # chunk must be quarantined and salvaged in-process.
+        specs=[FaultSpec("payload_corrupt", target="@k2")],
+    )
+    assert_bit_identical(serial["addition"], solution)
+    assert solution.stats.quarantined_chunks >= 1
+    assert solution.stats.exec_fallbacks >= 1
+    quarantines = [
+        inc for inc in solution.exec_incidents if inc.kind == "quarantine"
+    ]
+    assert quarantines
+    assert all(inc.resolution == "in-process" for inc in quarantines)
+    assert all("exhausted" in inc.reason for inc in quarantines)
+    # The in-process salvage warned (satellite: no invisible serial redo).
+    assert any(
+        "recovered in-process" in str(w.message)
+        for w in caught
+        if issubclass(w.category, RuntimeWarning)
+    )
+
+
+def test_incidents_surface_in_topk_result(design):
+    """analyze() carries the ledger to the user-facing TopKResult."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with injected(FaultSpec("pool_break", target="@k2", count=1), seed=7):
+            result = analyze(design, k=3, mode="addition", parallelism=2)
+    assert not result.degraded
+    assert result.stats.pool_respawns == 1
+    assert result.exec_incidents
+    assert all(
+        inc.recovered or inc.kind == "pool_respawn"
+        for inc in result.exec_incidents
+    )
+    assert "execution incident" in result.summary()
+
+
+def test_clean_parallel_run_has_empty_ledger(design):
+    """No injection: every recovery counter is zero, no incidents."""
+    solution, caught = _solve_parallel(design, "addition", specs=[])
+    assert solution.stats.chunk_retries == 0
+    assert solution.stats.chunk_timeouts == 0
+    assert solution.stats.pool_respawns == 0
+    assert solution.stats.exec_fallbacks == 0
+    assert solution.stats.quarantined_chunks == 0
+    assert solution.exec_incidents == []
+    assert not [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+
+
+def test_exec_metrics_counters_recorded(design):
+    """The metrics registry carries the exec.* counters for traces."""
+    config = TopKConfig(parallelism=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with injected(FaultSpec("pool_break", target="@k2", count=1), seed=7):
+            with TopKEngine(design, "addition", config) as engine:
+                engine.solve(3)
+                metrics = engine.metrics.to_json()
+    counters = metrics.get("counters", metrics)
+    assert counters.get("exec.pool_respawns", 0) == 1
+
+
+class TestResumeDuringParallelSolve:
+    """Satellite: checkpoint resume initiated *during* a parallel solve.
+
+    A deadline fires mid-solve (at the first wave tick of cardinality
+    2), the partial run snapshots k=1, and resuming — in parallel —
+    completes to results bit-identical to an uninterrupted serial run.
+    """
+
+    def test_deadline_mid_wave_then_parallel_resume(
+        self, design, serial, tmp_path
+    ):
+        ckpt = str(tmp_path / "chaos.ckpt.json")
+        budget = RunBudget(
+            deadline_s=1e9, checkpoint_path=ckpt, checkpoint_every_s=0.0
+        )
+        with injected(FaultSpec("deadline", target="@k2")):
+            with TopKEngine(
+                design, "addition", TopKConfig(parallelism=2, budget=budget)
+            ) as engine:
+                partial = engine.solve(3)
+        assert partial.degraded
+        assert partial.degradation.reason == "deadline"
+        assert partial.degradation.completed_k == 1
+        assert os.path.exists(ckpt)
+        assert load_checkpoint(ckpt)["solved_upto"] == 1
+
+        resume_budget = RunBudget(checkpoint_path=ckpt)
+        with TopKEngine(
+            design,
+            "addition",
+            TopKConfig(parallelism=2, budget=resume_budget),
+        ) as engine:
+            assert engine.resumed_from == ckpt
+            resumed = engine.solve(3)
+        assert not resumed.degraded
+        assert_bit_identical(serial["addition"], resumed)
+
+    @fork_only
+    def test_chaotic_partial_checkpoint_matches_clean_partial(
+        self, design, tmp_path
+    ):
+        """Worker kills before the deadline do not perturb the snapshot."""
+        clean = str(tmp_path / "clean.ckpt.json")
+        chaotic = str(tmp_path / "chaotic.ckpt.json")
+        for path, specs in (
+            (clean, []),
+            (
+                chaotic,
+                [FaultSpec("worker_kill", target="@k1", count=1)],
+            ),
+        ):
+            budget = RunBudget(
+                deadline_s=1e9, checkpoint_path=path, checkpoint_every_s=0.0
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with injected(
+                    *specs, FaultSpec("deadline", target="@k2"), seed=7
+                ):
+                    with TopKEngine(
+                        design,
+                        "addition",
+                        TopKConfig(parallelism=2, budget=budget),
+                    ) as engine:
+                        engine.solve(3)
+        a = load_checkpoint(clean)
+        b = load_checkpoint(chaotic)
+        assert a["solved_upto"] == b["solved_upto"] == 1
+        assert a["nets"] == b["nets"]
+        assert a["fingerprint"] == b["fingerprint"]
