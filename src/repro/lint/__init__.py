@@ -19,6 +19,9 @@ instead of deep stack traces or silently wrong top-k sets.
   whole-design dataflow proofs from :mod:`repro.analysis` —
   dead-aggressor certificates, bound-violation lints, and the static
   wave-race audit of the parallel partition.
+* :mod:`~repro.lint.code` — the self-hosted code tier (RPR8xx): AST +
+  call-graph analysis of ``src/repro`` itself, statically guarding the
+  bit-exactness contract (see ``docs/determinism.md``).
 * :mod:`~repro.lint.reporters` — text / JSON / SARIF output.
 * :mod:`~repro.lint.baseline` — snapshot known findings; CI fails only
   on regressions.
@@ -51,12 +54,15 @@ from .framework import (
     all_rules,
     assert_clean,
     rule,
+    run_code_lint,
     run_lint,
 )
 
-# Import for side effects: register the built-in rule catalog.
+# Import for side effects: register the built-in rule catalog (the
+# ``code`` subpackage registers the RPR8xx self-analysis tier).
 from . import (  # noqa: F401,E402
     audit,
+    code,
     rules_certificate,
     rules_config,
     rules_coupling,
@@ -94,5 +100,6 @@ __all__ = [
     "render_text",
     "rule",
     "rule_catalog_markdown",
+    "run_code_lint",
     "run_lint",
 ]

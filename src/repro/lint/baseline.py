@@ -33,9 +33,15 @@ class BaselineError(ValueError):
 
 @dataclass
 class Baseline:
-    """An accepted-findings snapshot."""
+    """An accepted-findings snapshot.
+
+    ``reasons`` optionally records *why* a fingerprint was accepted —
+    the ratchet file then documents its own debt.  Reasons never affect
+    filtering; they are for the humans shrinking the baseline.
+    """
 
     counts: Dict[str, int] = field(default_factory=dict)
+    reasons: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def from_report(cls, report: LintReport) -> "Baseline":
@@ -44,6 +50,25 @@ class Baseline:
             fp = finding.fingerprint()
             counts[fp] = counts.get(fp, 0) + 1
         return cls(counts=counts)
+
+    @classmethod
+    def updated(cls, report: LintReport, path: str) -> "Baseline":
+        """A fresh snapshot of ``report`` that keeps the reasons an
+        existing baseline at ``path`` recorded for fingerprints that are
+        still present — re-accepting debt must not erase its paper trail.
+        """
+        fresh = cls.from_report(report)
+        if os.path.exists(path):
+            try:
+                old = cls.load(path)
+            except BaselineError:
+                return fresh
+            fresh.reasons = {
+                fp: reason
+                for fp, reason in old.reasons.items()
+                if fp in fresh.counts
+            }
+        return fresh
 
     def absorbs(self, finding: Finding, seen: Dict[str, int]) -> bool:
         """Whether ``finding`` is covered (mutates the ``seen`` tally)."""
@@ -68,11 +93,13 @@ class Baseline:
         )
 
     def save(self, path: str) -> None:
-        payload = {
+        payload: Dict[str, object] = {
             "format": BASELINE_FORMAT_VERSION,
             "tool": "repro-lint",
             "findings": dict(sorted(self.counts.items())),
         }
+        if self.reasons:
+            payload["reasons"] = dict(sorted(self.reasons.items()))
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
@@ -101,4 +128,12 @@ class Baseline:
             raise BaselineError(
                 f"baseline {path!r} findings must map fingerprints to counts"
             )
-        return cls(counts=dict(findings))
+        reasons = payload.get("reasons", {})
+        if not isinstance(reasons, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in reasons.items()
+        ):
+            raise BaselineError(
+                f"baseline {path!r} reasons must map fingerprints to text"
+            )
+        return cls(counts=dict(findings), reasons=dict(reasons))

@@ -23,9 +23,16 @@ Run only the semantic tier (the RPR7xx whole-design dataflow proofs)::
 
     repro-lint --all-benchmarks --tier semantic
 
+Run the RPR8xx code tier over the project's own source (see
+``docs/determinism.md``), exporting SARIF and the CodeFacts JSON::
+
+    repro-lint --tier code src/repro --format sarif --output code.sarif \
+        --facts-out code-facts.json
+
 Exit codes: 0 clean, 1 findings at/above ``--fail-on``, 2 usage /
 input error, 3 a selected tier is missing its required input (e.g.
-``--tier audit`` without ``--audit``).
+``--tier audit`` without ``--audit``, or ``--tier code`` pointed at a
+missing source tree).
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from ..circuit.design import Design
 from ..circuit.generator import PAPER_BENCHMARKS, make_paper_benchmark
 from ..core.engine import TopKConfig
 from .baseline import Baseline, BaselineError
-from .framework import LintConfig, LintReport, Severity, run_lint
+from .framework import LintConfig, LintReport, Severity, run_code_lint, run_lint
 from .reporters import render
 
 #: Exit code for "the selected tier needs an input this invocation did
@@ -52,6 +59,7 @@ TIER_CATEGORIES = {
     "semantic": ("netlist", "coupling", "timing", "config", "semantic"),
     "audit": ("audit",),
     "certificate": ("certificate",),
+    "code": ("code",),
     "all": None,
 }
 
@@ -69,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_design_source_args(parser)
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        metavar="SOURCE_TREE",
+        help=(
+            "source tree for --tier code (e.g. src/repro from a "
+            "checkout); ignored by the design tiers"
+        ),
+    )
     parser.add_argument(
         "--all-benchmarks",
         action="store_true",
@@ -94,7 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
             "rule tier to run (default all): static = RPR1xx-4xx, "
             "semantic = static + the RPR7xx dataflow proofs, audit = "
             "RPR5xx (needs --audit; exits 3 without it), certificate = "
-            "RPR6xx (needs a solve certificate; use repro-certify)"
+            "RPR6xx (needs a solve certificate; use repro-certify), "
+            "code = RPR8xx self-analysis of a source tree (needs the "
+            "positional SOURCE_TREE; exits 3 without it)"
+        ),
+    )
+    parser.add_argument(
+        "--facts-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --tier code: also export the CodeFacts JSON (call "
+            "graph + effect summaries) to this file"
         ),
     )
     parser.add_argument(
@@ -192,6 +221,74 @@ def _lint_one(design: Design, args: argparse.Namespace, cfg: LintConfig) -> Lint
     return report
 
 
+def _run_code_tier(args: argparse.Namespace, cfg: LintConfig) -> int:
+    """The ``--tier code`` flow: scan a source tree, run RPR8xx.
+
+    Exit 3 (missing input) when no tree was given or it cannot be
+    scanned — distinct from 1 (findings) and 2 (bad usage), so CI can
+    tell "the code is dirty" from "the job checked out nothing".
+    """
+    from .code.facts import build_code_facts
+    from .code.model import CodeScanError
+
+    if not args.source:
+        print(
+            "error: --tier code analyzes a Python source tree, but this "
+            "invocation names none; pass the package root as the "
+            "positional argument (from a checkout: "
+            "`repro-lint --tier code src/repro`)",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING_INPUT
+    try:
+        facts = build_code_facts(args.source)
+    except CodeScanError as exc:
+        print(
+            f"error: cannot scan source tree: {exc}; point --tier code "
+            "at the package root (from a checkout: "
+            "`repro-lint --tier code src/repro`)",
+            file=sys.stderr,
+        )
+        return EXIT_MISSING_INPUT
+
+    report = run_code_lint(args.source, config=cfg, facts=facts)
+    if args.facts_out:
+        facts.save(args.facts_out)
+        summary = facts.summary()
+        print(
+            f"wrote code facts ({summary['functions']} function(s) in "
+            f"{summary['modules']} module(s)) to {args.facts_out}"
+        )
+
+    if args.baseline:
+        if args.update_baseline:
+            Baseline.updated(report, args.baseline).save(args.baseline)
+            print(
+                f"baseline updated: {args.baseline} "
+                f"({len(report.findings)} finding(s) accepted)"
+            )
+            return 0
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = baseline.filter(report)
+
+    text = render(report, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(
+            f"wrote {args.format} report ({len(report.findings)} "
+            f"finding(s)) to {args.output}"
+        )
+    else:
+        print(text)
+    return 1 if report.has_failures(cfg.fail_on) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -216,6 +313,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_MISSING_INPUT
     cfg = _lint_config(args)
+    if args.tier == "code":
+        return _run_code_tier(args, cfg)
+    if args.source is not None:
+        parser.error(
+            "the positional SOURCE_TREE only applies to --tier code"
+        )
+    if args.facts_out is not None:
+        parser.error("--facts-out only applies to --tier code")
 
     if args.all_benchmarks:
         from ..cli import DEFAULT_SEED
@@ -239,7 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             merged = reports[0]
             for extra in reports[1:]:
                 merged = merged.merged_with(extra)
-            Baseline.from_report(merged).save(args.baseline)
+            Baseline.updated(merged, args.baseline).save(args.baseline)
             print(
                 f"baseline updated: {args.baseline} "
                 f"({len(merged.findings)} finding(s) accepted)"

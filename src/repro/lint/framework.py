@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..timing.sta import TimingResult
     from ..verify.certificate import Certificate
     from ..verify.checker import CheckReport
+    from .code.facts import CodeFacts
 
 
 class LintError(ValueError):
@@ -88,14 +89,36 @@ CATEGORIES = (
     "semantic",
     "audit",
     "certificate",
+    "code",
 )
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 
+#: Reserved hundreds-digit ranges: a rule code RPR{d}## with a reserved
+#: digit must carry the matching category, so ``docs/lint.md``'s "range =
+#: tier" convention cannot silently drift.  0xx and 9xx stay unreserved
+#: (tests register scratch rules there).
+CODE_RANGE_CATEGORIES: Dict[str, str] = {
+    "1": "netlist",
+    "2": "coupling",
+    "3": "timing",
+    "4": "config",
+    "5": "audit",
+    "6": "certificate",
+    "7": "semantic",
+    "8": "code",
+}
+
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding (an instance of a rule firing)."""
+    """One lint finding (an instance of a rule firing).
+
+    ``file``/``line``/``column``/``end_line``/``end_column`` are set by
+    source-level rules (the RPR8xx code tier) so reporters can emit real
+    physical regions; design-level rules leave them empty and report
+    logical locations only.  Columns are 1-based; 0 means "unknown".
+    """
 
     code: str
     severity: Severity
@@ -104,18 +127,28 @@ class Finding:
     location: str = ""
     rule_name: str = ""
     design: str = ""
+    file: str = ""
+    line: int = 0
+    column: int = 0
+    end_line: int = 0
+    end_column: int = 0
 
     def fingerprint(self) -> str:
         """Stable identity used by the baseline workflow.
 
         Deliberately excludes the message text (messages carry volatile
-        numbers) — two findings of the same rule at the same location are
+        numbers) and the physical span (line numbers churn on unrelated
+        edits) — two findings of the same rule at the same location are
         the same finding.
         """
         return f"{self.code}|{self.design}|{self.location}"
 
     def __str__(self) -> str:
         where = f" at {self.location}" if self.location else ""
+        if self.file:
+            where = f" at {self.file}:{self.line}" + (
+                f" ({self.location})" if self.location else ""
+            )
         return f"{self.code} [{self.severity.value}]{where}: {self.message}"
 
 
@@ -141,7 +174,7 @@ class Rule:
     def applicable(self, ctx: "LintContext") -> bool:
         """Whether the context carries what this rule's category needs."""
         if self.category == "netlist":
-            return True
+            return ctx.netlist is not None
         if self.category in ("coupling", "timing", "semantic"):
             return ctx.design is not None
         if self.category == "config":
@@ -150,6 +183,8 @@ class Rule:
             return ctx.engine is not None
         if self.category == "certificate":
             return ctx.certificate is not None
+        if self.category == "code":
+            return ctx.code_facts is not None
         return False  # pragma: no cover - unreachable for registered rules
 
     def run(self, ctx: "LintContext") -> List[Finding]:
@@ -161,6 +196,11 @@ class Rule:
             *,
             location: str = "",
             severity: Optional[Severity] = None,
+            file: str = "",
+            line: int = 0,
+            column: int = 0,
+            end_line: int = 0,
+            end_column: int = 0,
         ) -> None:
             findings.append(
                 Finding(
@@ -171,6 +211,11 @@ class Rule:
                     location=location,
                     rule_name=self.name,
                     design=ctx.design_name,
+                    file=file,
+                    line=line,
+                    column=column,
+                    end_line=end_line,
+                    end_column=end_column,
                 )
             )
 
@@ -193,6 +238,25 @@ class Rule:
 
 #: Process-wide registry: rule code -> :class:`Rule`.
 RULE_REGISTRY: Dict[str, Rule] = {}
+
+#: O(1) duplicate guards: rule name -> code and legacy alias -> code.
+#: Entries whose code is no longer registered (tests delete scratch rules
+#: straight out of :data:`RULE_REGISTRY`) are treated as stale and
+#: overwritten rather than refused.
+_NAME_INDEX: Dict[str, str] = {}
+_LEGACY_INDEX: Dict[str, str] = {}
+
+
+def _index_holder(
+    index: Dict[str, str], key: str, attr: str
+) -> Optional[str]:
+    """The code currently holding ``key``, ignoring stale entries."""
+    code = index.get(key)
+    if code is not None:
+        live = RULE_REGISTRY.get(code)
+        if live is not None and getattr(live, attr) == key:
+            return code
+    return None
 
 
 def rule(
@@ -227,20 +291,28 @@ def rule(
                 f"(already {RULE_REGISTRY[code].name!r})"
             )
         name = fn.__name__.replace("_", "-")
-        for existing in RULE_REGISTRY.values():
-            if existing.name == name:
-                raise RuleDefinitionError(
-                    f"rule {code}: duplicate rule name {name!r} "
-                    f"(already used by {existing.code})"
-                )
-            if legacy is not None and existing.legacy == legacy:
+        name_holder = _index_holder(_NAME_INDEX, name, "name")
+        if name_holder is not None:
+            raise RuleDefinitionError(
+                f"rule {code}: duplicate rule name {name!r} "
+                f"(already used by {name_holder})"
+            )
+        if legacy is not None:
+            legacy_holder = _index_holder(_LEGACY_INDEX, legacy, "legacy")
+            if legacy_holder is not None:
                 raise RuleDefinitionError(
                     f"rule {code}: duplicate legacy alias {legacy!r} "
-                    f"(already used by {existing.code})"
+                    f"(already used by {legacy_holder})"
                 )
         if category not in CATEGORIES:
             raise RuleDefinitionError(
                 f"rule {code}: unknown category {category!r}"
+            )
+        reserved = CODE_RANGE_CATEGORIES.get(code[len("RPR")])
+        if reserved is not None and category != reserved:
+            raise RuleDefinitionError(
+                f"rule {code}: the RPR{code[len('RPR')]}xx range is "
+                f"reserved for category {reserved!r}, got {category!r}"
             )
         if not (fn.__doc__ or "").strip():
             raise RuleDefinitionError(
@@ -256,6 +328,9 @@ def rule(
             check=fn,
             legacy=legacy,
         )
+        _NAME_INDEX[name] = code
+        if legacy is not None:
+            _LEGACY_INDEX[legacy] = code
         return fn
 
     return decorate
@@ -275,12 +350,13 @@ class LintContext:
     structural rules must work on designs where STA would raise.
     """
 
-    netlist: Netlist
+    netlist: Optional[Netlist] = None
     design: Optional["Design"] = None
     analysis_config: Optional["TopKConfig"] = None
     k: Optional[int] = None
     engine: Optional["TopKEngine"] = None
     certificate: Optional["Certificate"] = None
+    code_facts: Optional["CodeFacts"] = None
     _sta: Optional["TimingResult"] = field(default=None, repr=False)
     _sta_failed: bool = field(default=False, repr=False)
     _graph: Optional["TimingGraph"] = field(default=None, repr=False)
@@ -292,7 +368,11 @@ class LintContext:
 
     @property
     def design_name(self) -> str:
-        return self.netlist.name
+        if self.netlist is not None:
+            return self.netlist.name
+        if self.code_facts is not None:
+            return self.code_facts.label
+        return ""
 
     @property
     def graph(self) -> Optional["TimingGraph"]:
@@ -300,6 +380,8 @@ class LintContext:
         and fanout views), built once and shared by every rule in the
         run — or None when the structure has no topological order
         (undriven nets, combinational cycles)."""
+        if self.netlist is None:
+            return None
         if self._graph is None and not self._graph_failed:
             from ..timing.graph import TimingGraph
 
@@ -323,7 +405,7 @@ class LintContext:
             from ..timing.sta import run_sta
 
             graph = self.graph
-            if graph is None:
+            if graph is None or self.netlist is None:
                 self._sta_failed = True
                 return None
             try:
@@ -537,6 +619,55 @@ def run_lint(
         if wanted is not None and rule_.category not in wanted:
             continue
         if not rule_.applicable(ctx):
+            continue
+        if cfg.suppresses(rule_):
+            suppressed += 1
+            continue
+        findings.extend(rule_.run(ctx))
+    return LintReport(
+        findings=findings, design_name=ctx.design_name, suppressed=suppressed
+    )
+
+
+def run_code_lint(
+    root: str,
+    *,
+    config: Optional[LintConfig] = None,
+    facts: Optional["CodeFacts"] = None,
+) -> LintReport:
+    """Run the RPR8xx code tier over the project's own source tree.
+
+    Parameters
+    ----------
+    root:
+        Source root to scan (``src/repro`` from a checkout).  Ignored
+        when ``facts`` is given.
+    config:
+        Suppression / failure options (shared with :func:`run_lint`).
+    facts:
+        A pre-built :class:`~repro.lint.code.facts.CodeFacts` — pass it
+        when the caller also exports the facts JSON, so the tree is
+        scanned once.
+
+    Raises
+    ------
+    repro.lint.code.model.CodeScanError
+        When ``root`` is not a directory or holds no Python source; the
+        CLI maps this onto its exit-3 missing-input contract.
+    """
+    # Import for side effects: the RPR8xx rules register themselves.
+    from .code import rules as _code_rules  # noqa: F401
+
+    if facts is None:
+        from .code.facts import build_code_facts
+
+        facts = build_code_facts(root)
+    cfg = config if config is not None else LintConfig()
+    ctx = LintContext(code_facts=facts)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule_ in all_rules():
+        if rule_.category != "code":
             continue
         if cfg.suppresses(rule_):
             suppressed += 1

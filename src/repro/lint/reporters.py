@@ -58,7 +58,7 @@ def render_text(report: LintReport) -> str:
 
 
 def _finding_dict(finding: Finding) -> Dict:
-    return {
+    out: Dict = {
         "code": finding.code,
         "rule": finding.rule_name,
         "severity": finding.severity.value,
@@ -68,6 +68,13 @@ def _finding_dict(finding: Finding) -> Dict:
         "design": finding.design,
         "fingerprint": finding.fingerprint(),
     }
+    if finding.file:
+        out["file"] = finding.file
+        out["line"] = finding.line
+        out["column"] = finding.column
+        out["endLine"] = finding.end_line
+        out["endColumn"] = finding.end_column
+    return out
 
 
 def render_json(reports: Union[LintReport, List[LintReport]]) -> str:
@@ -149,24 +156,45 @@ def _sarif_result(finding: Finding, rule_index: Dict[str, int]) -> Dict:
     }
     if finding.code in rule_index:
         result["ruleIndex"] = rule_index[finding.code]
+    location: Dict = {}
+    if finding.file:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": finding.file},
+            "region": _sarif_region(finding),
+        }
     if finding.location or finding.design:
         name = finding.location or finding.design
-        result["locations"] = [
+        location["logicalLocations"] = [
             {
-                "logicalLocations": [
-                    {
-                        "name": name,
-                        "fullyQualifiedName": (
-                            f"{finding.design}::{finding.location}"
-                            if finding.design and finding.location
-                            else name
-                        ),
-                        "kind": "element",
-                    }
-                ]
+                "name": name,
+                "fullyQualifiedName": (
+                    f"{finding.design}::{finding.location}"
+                    if finding.design and finding.location
+                    else name
+                ),
+                "kind": "element",
             }
         ]
+    if location:
+        result["locations"] = [location]
     return result
+
+
+def _sarif_region(finding: Finding) -> Dict:
+    """A SARIF region covering the finding's full span.
+
+    ``endLine``/``endColumn`` let code-scanning viewers highlight the
+    whole offending expression instead of a single caret; omitted when
+    the rule only knows the start (SARIF defaults endLine to startLine).
+    """
+    region: Dict = {"startLine": max(finding.line, 1)}
+    if finding.column > 0:
+        region["startColumn"] = finding.column
+    if finding.end_line >= max(finding.line, 1):
+        region["endLine"] = finding.end_line
+        if finding.end_column > 0:
+            region["endColumn"] = finding.end_column
+    return region
 
 
 def rule_catalog_markdown() -> str:

@@ -392,7 +392,9 @@ def _blend(
 ) -> Dict[str, float]:
     """Under-relaxed update: ``(1 - damping) * new + damping * old``."""
     blended: Dict[str, float] = {}
-    for key in set(old) | set(new):
+    # sorted(): the union is a set, and downstream consumers observe the
+    # dict's insertion order — keep it independent of hash seeding.
+    for key in sorted(set(old) | set(new)):
         value = (1.0 - damping) * new.get(key, 0.0) + damping * old.get(key, 0.0)
         if value > 0.0:
             blended[key] = value
