@@ -16,7 +16,7 @@ two would double-count the envelope).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 import numpy as np
 
@@ -69,8 +69,16 @@ class EnvelopeSet:
             return False
         return True
 
-    def merged(self, other: "EnvelopeSet") -> "EnvelopeSet":
-        """Union of two compatible sets; envelopes add (linear framework)."""
+    def merged(
+        self, other: "EnvelopeSet", env: Optional[np.ndarray] = None
+    ) -> "EnvelopeSet":
+        """Union of two compatible sets; envelopes add (linear framework).
+
+        ``env`` lets a batched caller supply the already-computed sum
+        (one gather-add over all merges of a sweep adds the same two
+        float rows as ``self.env + other.env``, so the result is
+        bit-identical) while the set-metadata logic stays in one place.
+        """
         if not self.compatible(other):
             raise SetError(
                 f"sets {sorted(self.couplings)} and {sorted(other.couplings)} "
@@ -80,7 +88,7 @@ class EnvelopeSet:
             raise SetError("cannot merge envelopes on different grids")
         return EnvelopeSet(
             couplings=self.couplings | other.couplings,
-            env=self.env + other.env,
+            env=self.env + other.env if env is None else env,
             blocked=self.blocked | other.blocked,
             label=_join_labels(self.label, other.label),
         )

@@ -154,14 +154,17 @@ def reduce_irredundant(
     kept: List[EnvelopeSet] = []
     dominated = 0
     limit = max_sets if max_sets is not None else len(order)
-    # Kept envelopes live in one preallocated matrix so each dominance
-    # test is a single vectorized comparison against all of them.
-    kept_matrix = np.empty((min(limit, len(order)), int(mask.sum())))
+    # All candidates are masked in one gather up front (a row of
+    # ``matrix[:, mask]`` is exactly ``row[mask]``), and kept envelopes
+    # live in one preallocated matrix so each dominance test is a single
+    # vectorized comparison against all of them.
+    all_masked = np.stack([c.env for c in order])[:, mask]
+    kept_matrix = np.empty((min(limit, len(order)), all_masked.shape[1]))
     count = 0
-    for cand in order:
+    for pos, cand in enumerate(order):
         if count >= limit:
             break
-        cand_masked = cand.env[mask]
+        cand_masked = all_masked[pos]
         if count:
             dominates = np.all(
                 kept_matrix[:count] >= cand_masked - ENCAPSULATION_TOL,

@@ -71,7 +71,7 @@ from ..obs.profile import SamplingProfiler
 from ..obs.trace import Trace
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..obs.tracer import activate as _obs_activate
-from ..perf.batch import delay_noise_rows
+from ..perf.batch import delay_noise_blocks
 from ..perf.memo import (
     EnvelopeMemo,
     counter_delta,
@@ -281,6 +281,8 @@ _EXECUTION_FIELDS = (
     "pool_respawns",
     "exec_fallbacks",
     "quarantined_chunks",
+    "pool_payload_bytes",
+    "shm_payload_bytes",
 )
 
 
@@ -308,7 +310,11 @@ class SolveStats:
       after breaks, serial/in-process fallbacks taken, and chunks
       quarantined away from the pool.  All zero on a clean run — a
       nonzero value is how a recovered run distinguishes itself from a
-      clean one with identical results.
+      clean one with identical results;
+    * ``pool_payload_bytes`` / ``shm_payload_bytes`` — array bytes a
+      parallel solve shipped through the pool pipe (pickled) vs. placed
+      in shared-memory arenas (``docs/performance.md``).  On a healthy
+      shm platform the pool count stays 0.
     """
 
     victims: int = 0
@@ -325,6 +331,8 @@ class SolveStats:
     pool_respawns: int = 0
     exec_fallbacks: int = 0
     quarantined_chunks: int = 0
+    pool_payload_bytes: int = 0
+    shm_payload_bytes: int = 0
     phase_s: Dict[str, float] = field(default_factory=dict)
     cache_hits: Dict[str, int] = field(default_factory=dict)
     cache_misses: Dict[str, int] = field(default_factory=dict)
@@ -1320,10 +1328,32 @@ class TopKEngine:
                 a for a in direct if a.cardinality == 1
             ]
         else:
-            for base in ctx.ilists.get(i - 1, []):
-                for atom in ctx.atoms1:
-                    if base.compatible(atom):
-                        candidates.append(base.merged(atom))
+            bases = ctx.ilists.get(i - 1, [])
+            atoms = ctx.atoms1
+            pairs = [
+                (bi, ai)
+                for bi, base in enumerate(bases)
+                for ai, atom in enumerate(atoms)
+                if base.compatible(atom)
+            ]
+            if pairs:
+                # All merge envelopes in one gather-add: row (bi, ai) is
+                # bases[bi].env + atoms[ai].env with identical float
+                # operands, so each row is bit-identical to the scalar
+                # merge it replaces.
+                bidx = np.fromiter(
+                    (p[0] for p in pairs), dtype=np.intp, count=len(pairs)
+                )
+                aidx = np.fromiter(
+                    (p[1] for p in pairs), dtype=np.intp, count=len(pairs)
+                )
+                base_env = np.stack([b.env for b in bases])
+                atom_env = np.stack([a.env for a in atoms])
+                merged_env = base_env[bidx] + atom_env[aidx]
+                for row, (bi, ai) in enumerate(pairs):
+                    candidates.append(
+                        bases[bi].merged(atoms[ai], env=merged_env[row])
+                    )
         return candidates
 
     def _reduce(
@@ -1356,6 +1386,12 @@ class TopKEngine:
             dom_span.set(kept=len(kept), dominated=dominated)
         self.metrics.observe("reduce.candidates", len(candidates))
         self.stats.dominated += dominated
+        # Compact kept rows that are views into a large candidate block
+        # (the batched merge above): a handful of survivors must not pin
+        # the whole (candidates, n) matrix for the engine's lifetime.
+        for cand in kept:
+            if cand.env.base is not None:
+                cand.env = cand.env.copy()
         ctx.ilists[i] = kept
         self.monitor.note_frontier(len(kept) * ctx.grid.n * 8)
 
@@ -1388,8 +1424,9 @@ class TopKEngine:
             assert ctx.total_env is not None
             remaining = np.clip(ctx.total_env[None, :] - matrix, 0.0, None)
             scores = batch_delay_noise(ctx.t50, ctx.slew, remaining, ctx.grid)
-        for cand, score in zip(candidates, scores):
-            cand.score = float(score)
+        # One bulk conversion instead of m numpy-scalar -> float casts.
+        for cand, score in zip(candidates, scores.tolist()):
+            cand.score = score
 
     def _score_chunk(
         self,
@@ -1398,49 +1435,46 @@ class TopKEngine:
         """Score candidates of several victims in one kernel call.
 
         All victim grids share a point count (``config.grid_points``),
-        so the rows stack into one matrix with the per-victim reference
-        ramp, t50, time base, and step riding along as row vectors.
-        Every operation in :func:`~repro.perf.batch.delay_noise_rows` is
-        row-local, so each candidate's score is bit-identical to what
-        :meth:`_score` computes for it alone — the wave scheduler's
-        workers rely on this.
+        so each victim's candidates form one ``(m_b, n)`` block and the
+        wave scores in a single
+        :func:`~repro.perf.batch.delay_noise_blocks` call, with the
+        per-victim reference ramp, t50, time base, and step passed once
+        per block instead of broadcast per row.  Every operation in the
+        kernel is row-local, so each candidate's score is bit-identical
+        to what :meth:`_score` computes for it alone — the wave
+        scheduler's workers rely on this.
         """
         entries = [(ctx, cands) for ctx, cands in entries if cands]
         if not entries:
             return
         blocks: List[np.ndarray] = []
-        t50s: List[np.ndarray] = []
+        t50s: List[float] = []
         ramps: List[np.ndarray] = []
         times: List[np.ndarray] = []
-        dts: List[np.ndarray] = []
+        dts: List[float] = []
         for ctx, cands in entries:
             self._tick(ctx.net, cands[0].cardinality, phase="score")
             matrix = self._validated_matrix(ctx, cands)
             if self.mode == ELIMINATION:
                 assert ctx.total_env is not None
                 matrix = np.clip(ctx.total_env[None, :] - matrix, 0.0, None)
-            m = matrix.shape[0]
             blocks.append(matrix)
-            t50s.append(np.full(m, ctx.t50))
-            ramps.append(
-                np.broadcast_to(
-                    _victim_ramp(ctx.t50, ctx.slew, ctx.grid), (m, ctx.grid.n)
-                )
-            )
-            times.append(np.broadcast_to(ctx.grid.times, (m, ctx.grid.n)))
-            dts.append(np.full(m, ctx.grid.dt))
+            t50s.append(ctx.t50)
+            ramps.append(_victim_ramp(ctx.t50, ctx.slew, ctx.grid))
+            times.append(ctx.grid.times)
+            dts.append(ctx.grid.dt)
         self.metrics.observe("score.rows", sum(b.shape[0] for b in blocks))
-        scores = delay_noise_rows(
-            np.concatenate(t50s),
-            np.concatenate(ramps),
-            np.vstack(blocks),
-            np.concatenate(times),
-            np.concatenate(dts),
-        )
+        scores = delay_noise_blocks(
+            blocks,
+            np.stack(ramps),
+            np.array(t50s, dtype=np.float64),
+            np.stack(times),
+            np.array(dts, dtype=np.float64),
+        ).tolist()
         pos = 0
         for ctx, cands in entries:
             for cand in cands:
-                cand.score = float(scores[pos])
+                cand.score = scores[pos]
                 pos += 1
 
     # ------------------------------------------------------------------

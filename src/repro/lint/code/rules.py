@@ -235,10 +235,12 @@ def payload_outside_pickle_allowlist(
 ) -> None:
     """Chunk payloads crossing the process boundary must stay inside the
     pickle-safe allowlist (plain data: numbers, strings, containers of
-    the same, dataclass records).  A lambda, open file handle,
-    generator, or module/function reference in a payload dict either
-    fails to pickle at dispatch time or — worse — pickles something whose
-    identity differs per process.
+    the same, dataclass records — including the ``repro.perf.shm``
+    descriptor tuples).  A lambda, open file handle, generator,
+    module/function reference, or live shared-memory handle
+    (``SharedMemory``, ``ShareableList``, ``memoryview``) in a payload
+    dict either fails to pickle at dispatch time or — worse — pickles
+    something whose identity differs per process.
     """
     facts = _facts(ctx)
     for fn, site in _sites(facts, "payload", UNSAFE_PAYLOAD, "RPR806"):

@@ -225,6 +225,19 @@ _SET_METHODS = frozenset(
     {"union", "intersection", "difference", "symmetric_difference"}
 )
 
+#: Constructors whose return value is a *live process-local handle* into
+#: shared memory: pickling one into a chunk payload ships a per-process
+#: mapping (or fails outright), not data.  The sanctioned way to put a
+#: shared segment in a payload is the plain descriptor tuple emitted by
+#: ``repro.perf.shm`` — ``(tag, segment name, offset, shape, dtype)`` —
+#: which is ordinary pickle-safe data the worker resolves itself.
+_SHM_HANDLE_CALLS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+    }
+)
+
 
 def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
     """Flatten ``a.b.c`` into ``("a", "b", "c")``; None when the chain
@@ -759,6 +772,20 @@ class _FunctionScanner:
             if isinstance(node.func, ast.Name) and node.func.id == "open":
                 if "open" not in self.locals:
                     return "an open file object"
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "memoryview"
+                and "memoryview" not in self.locals
+            ):
+                return "a memoryview into process-local memory"
+            parts = _dotted(node.func)
+            if parts is not None and parts[0] not in self.locals:
+                resolved = self.symbols.resolve(parts, self.locals)
+                if resolved in _SHM_HANDLE_CALLS:
+                    return (
+                        f"a live shared-memory handle ({parts[-1]}); "
+                        "ship the repro.perf.shm descriptor tuple instead"
+                    )
             return None
         if isinstance(node, ast.Name):
             if node.id in self.nested_defs:

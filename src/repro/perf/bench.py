@@ -62,6 +62,16 @@ class BenchCircuit:
     chunk_retries: int = 0
     pool_respawns: int = 0
     exec_fallbacks: int = 0
+    #: Transport ledger of the parallel measurement: array bytes the
+    #: solve pushed through the pool pipe pickled vs. placed in
+    #: shared-memory arenas.  A healthy shm platform keeps the pool
+    #: count at 0 — the zero-copy win in the committed trajectory.
+    pool_payload_bytes: int = 0
+    shm_payload_bytes: int = 0
+    #: Process-wide peak RSS (MiB) observed when this entry finished —
+    #: a high-water mark, so later entries of one run never report less
+    #: than earlier ones.  None on platforms without ``resource``.
+    peak_rss_mb: Optional[float] = None
 
     def to_json(self) -> Dict[str, Any]:
         return asdict(self)
@@ -116,6 +126,18 @@ def _host_info() -> Dict[str, Any]:
         "platform": platform.platform(),
         "python": platform.python_version(),
     }
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """Process-wide peak RSS in MiB (None without POSIX ``resource``)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX host
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - bytes there
+        peak /= 1024.0
+    return round(peak / 1024.0, 1)
 
 
 def _solve_once(name: str, mode: str, k: int, parallelism: int, trace: bool = False):
@@ -201,6 +223,13 @@ def run_bench(
                 exec_fallbacks=(
                     parallel.stats.exec_fallbacks if parallelism > 1 else 0
                 ),
+                pool_payload_bytes=(
+                    parallel.stats.pool_payload_bytes if parallelism > 1 else 0
+                ),
+                shm_payload_bytes=(
+                    parallel.stats.shm_payload_bytes if parallelism > 1 else 0
+                ),
+                peak_rss_mb=_peak_rss_mb(),
             )
             report.circuits.append(entry)
             recovery = ""
@@ -210,6 +239,12 @@ def run_bench(
                     f"{entry.pool_respawns} respawn(s), "
                     f"{entry.exec_fallbacks} fallback(s)]"
                 )
+            transport = ""
+            if entry.shm_payload_bytes or entry.pool_payload_bytes:
+                transport = (
+                    f" [shm {entry.shm_payload_bytes / 1e6:.1f}MB, "
+                    f"pipe {entry.pool_payload_bytes / 1e6:.1f}MB]"
+                )
             log(
                 f"{name}/{mode}: serial {entry.serial_s:.2f}s"
                 + (
@@ -218,6 +253,7 @@ def run_bench(
                     if entry.parallel_s is not None
                     else ""
                 )
+                + transport
                 + recovery
             )
     return report
@@ -330,6 +366,21 @@ def compare(
     return failures
 
 
+def _parallelism_arg(spec: str) -> List[int]:
+    """Parse ``--parallelism``: one worker count, or a comma sweep."""
+    try:
+        levels = [int(token) for token in spec.split(",") if token.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or comma-separated integers, got {spec!r}"
+        )
+    if not levels or any(level < 1 for level in levels):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1, got {spec!r}"
+        )
+    return levels
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -350,9 +401,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--k", type=int, default=5, help="set-size budget")
     parser.add_argument(
         "--parallelism",
-        type=int,
-        default=4,
-        help="worker processes for the parallel measurement (1 = serial only)",
+        type=_parallelism_arg,
+        default=[4],
+        help=(
+            "worker processes for the parallel measurement (1 = serial "
+            "only); a comma-separated list (e.g. 1,2,4) sweeps every "
+            "level — the written report reflects the last one"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -383,12 +438,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     circuits = FULL_CIRCUITS if args.full else QUICK_CIRCUITS
-    report = run_bench(
-        circuits,
-        k=args.k,
-        parallelism=args.parallelism,
-        quick=not args.full,
-    )
+    levels: List[int] = args.parallelism
+    for idx, level in enumerate(levels):
+        if len(levels) > 1:
+            print(f"--- parallelism {level} ({idx + 1}/{len(levels)}) ---")
+        report = run_bench(
+            circuits,
+            k=args.k,
+            parallelism=level,
+            quick=not args.full,
+        )
     report.save(args.output)
     print(f"wrote {args.output} ({len(report.circuits)} entries)")
     status = 0
@@ -399,7 +458,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             status = 1
     if args.trace is not None:
         doc = trace_bench(
-            circuits, k=args.k, parallelism=args.parallelism
+            circuits, k=args.k, parallelism=levels[-1]
         )
         with open(args.trace, "w", encoding="utf-8") as fh:
             json.dump(doc, fh)

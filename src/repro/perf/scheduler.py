@@ -57,9 +57,10 @@ from ..runtime.budget import RuntimeMonitor
 from ..runtime.errors import ReproError
 from ..runtime.health import ChunkClock, HealthTracker
 from ..runtime.supervisor import ExecIncident, RetryPolicy, Supervision
+from .shm import SegmentArena, payload_array_bytes, share_wave_payload
 from .snapshot import unpack_sets
 from .waves import Wave, build_waves
-from .worker import init_worker, make_chunk_payload, run_chunk
+from .worker import chunk_payload_from_wave, init_worker, make_wave_payload, run_chunk
 
 #: Pool rebuilds granted per solve before the scheduler gives up on
 #: process-level parallelism and falls back to serial sweeps for good.
@@ -145,6 +146,10 @@ class WaveScheduler:
         self._broken = False
         self._respawns = 0
         self._timeouts_seen = False
+        #: The current wave's shared-memory arena (None between waves or
+        #: when shm is unavailable).  Owned here so ``close()`` can
+        #: release it even when a fallback abandons the wave mid-flight.
+        self._arena: Optional[SegmentArena] = None
         #: Chunks banned from the pool after exhausting their retry
         #: budget, keyed by net tuple -> recorded reason.
         self._quarantined: Dict[Tuple[str, ...], str] = {}
@@ -254,10 +259,36 @@ class WaveScheduler:
             self._respawn_backoff.sleep_backoff(self._respawns)
             self._ensure_pool()
 
+    def _release_arena(self, arena: Optional[SegmentArena], site: str) -> None:
+        """Unlink a wave arena; a failed unlink is an incident, not a pass.
+
+        ``unlink`` is idempotent, so releasing through both the wave's
+        ``finally`` and ``close()`` is safe.  The atexit registry and the
+        stdlib resource tracker remain as backstops, but a leak that
+        reaches them is still recorded here as a ``segment_leak``.
+        """
+        if arena is None:
+            return
+        if self._arena is arena:
+            self._arena = None
+        try:
+            arena.unlink()
+        except OSError as exc:
+            eng = self.engine
+            eng.metrics.counter_add("exec.segment_leaks")
+            eng.exec_incidents.append(
+                ExecIncident(
+                    kind="segment_leak",
+                    site=site,
+                    reason=repr(exc),
+                )
+            )
+
     def close(self) -> None:
         # A pool that ever hosted a hung chunk may never finish a
         # blocking join; release it without waiting in that case.
         self._shutdown_pool(wait=not self._timeouts_seen)
+        self._release_arena(self._arena, site="close")
 
     # ------------------------------------------------------------------
     # pass execution
@@ -298,17 +329,32 @@ class WaveScheduler:
         """
         eng = self.engine
         chunks = split_chunks(nets, eng.config.parallelism)
+        # The wave's dependency state is packed exactly once; chunk
+        # payloads are by-reference selections, and with a live arena
+        # the arrays leave the pickle stream entirely (descriptors
+        # instead of bytes).  The arena outlives every retry and pool
+        # respawn of this wave — resubmitted payloads reference it — and
+        # is unlinked when the last chunk settles.
+        wave_payload = make_wave_payload(eng, nets, i)
+        arena = share_wave_payload(wave_payload)
+        if arena is not None:
+            self._arena = arena
+            eng.stats.shm_payload_bytes += arena.used
+            eng.metrics.counter_add("exec.shm_bytes", arena.used)
         tasks: List[_ChunkTask] = []
         for chunk in chunks:
-            payload = make_chunk_payload(eng, chunk, i)
+            payload = chunk_payload_from_wave(wave_payload, chunk)
             tasks.append(
                 _ChunkTask(chunk, payload, site=f"{chunk[0]}@k{i}")
             )
-        for task in tasks:
-            if not self._broken and task.key not in self._quarantined:
-                self._try_submit(task)
-        for task in tasks:
-            self._settle(task, i)
+        try:
+            for task in tasks:
+                if not self._broken and task.key not in self._quarantined:
+                    self._try_submit(task)
+            for task in tasks:
+                self._settle(task, i)
+        finally:
+            self._release_arena(arena, site=f"{nets[0]}@k{i}")
 
     def _try_submit(self, task: _ChunkTask) -> bool:
         """One submission attempt; False when the pool cannot take it."""
@@ -336,6 +382,13 @@ class WaveScheduler:
         try:
             task.submitted = time.perf_counter()
             task.future = pool.submit(run_chunk, task.payload)
+            # Plain ndarray bytes this submission pushed through the
+            # pool's pipe (0 when the wave's arrays live in the arena).
+            pickled = payload_array_bytes(task.payload)
+            if pickled:
+                eng = self.engine
+                eng.stats.pool_payload_bytes += pickled
+                eng.metrics.counter_add("exec.pool_bytes", pickled)
             return True
         except _SUBMIT_FAILURES as exc:
             task.future = None

@@ -1,0 +1,295 @@
+"""Zero-copy wave payloads over ``multiprocessing.shared_memory``.
+
+The wave scheduler ships each chunk's dependency I-lists to pool
+workers.  Pickling those payloads moves every envelope matrix through
+the executor's pipe twice (serialize + deserialize) per chunk; on real
+designs the arrays dominate the payload, and cross-chunk fanin overlap
+ships some of them several times per wave.  This module removes the
+arrays from the pickle stream entirely:
+
+* :func:`share_wave_payload` packs every ``env`` / ``scores`` array of a
+  wave payload (built by :func:`repro.perf.worker.make_wave_payload`)
+  into **one** shared-memory segment per wave and replaces each array
+  with a plain descriptor tuple ``(tag, segment, offset, shape, dtype)``
+  — exactly the pickle-safe "plain data" the RPR806 payload allowlist
+  wants crossing the process boundary;
+* :func:`resolve_payload` is the worker-side inverse: attach the
+  segment, **copy** each described array out, and close the mapping
+  immediately.  The copy is deliberate — unpacked rows outlive the
+  chunk inside the replica's contexts, so a view into the segment would
+  dangle once the parent unlinks it.  The zero-copy win is parent-side:
+  no array serialization at submit time and no array bytes through the
+  pool pipe.
+
+Segment lifecycle (the part that must never leak):
+
+* an arena is created at wave start and unlinked in the scheduler's
+  ``finally`` when the wave settles — it survives pool respawns and
+  chunk retries mid-wave, because resubmitted payloads reference it;
+* ``WaveScheduler.close()`` unlinks a still-live arena (fallback paths
+  close the scheduler mid-wave);
+* every live arena is registered in a module registry drained by an
+  ``atexit`` hook, so even an abandoned scheduler cannot outlive the
+  interpreter;
+* a failed unlink is recorded as a ``"segment_leak"``
+  :class:`~repro.runtime.supervisor.ExecIncident` by the scheduler —
+  loudly observable, never silent;
+* the stdlib ``resource_tracker`` remains the last resort for a
+  SIGKILLed parent: segments stay registered until unlinked, and the
+  tracker reaps leftovers.  Workers un-register right after attaching
+  (Python < 3.13 registers on attach too), so the shared fork-side
+  tracker never double-counts a segment the parent already released.
+
+Creation failures (``/dev/shm`` exhausted, platform without POSIX shm)
+degrade gracefully: the wave payload keeps its plain arrays and the
+scheduler ships them pickled, exactly as before this module existed.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .snapshot import packed_array_items
+
+#: First element of every descriptor tuple (distinguishes descriptors
+#: from real ndarrays inside a packed dict).
+SHM_TAG = "shm"
+
+#: Offsets are aligned so every described array starts on a cache line.
+_ALIGN = 64
+
+#: Live arenas by segment name; drained by :func:`_unlink_all_arenas`
+#: at interpreter exit.  Parent-side only — workers never create arenas.
+_LIVE_ARENAS: Dict[str, "SegmentArena"] = {}
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _unlink_all_arenas() -> None:
+    """Interpreter-exit backstop: no segment outlives the process."""
+    for arena in list(_LIVE_ARENAS.values()):
+        try:
+            arena.unlink()
+        except OSError:  # pragma: no cover - exit-path best effort
+            pass
+
+
+atexit.register(_unlink_all_arenas)
+
+
+def live_arenas() -> Tuple[str, ...]:
+    """Names of segments created but not yet unlinked (test hook)."""
+    return tuple(sorted(_LIVE_ARENAS))
+
+
+class SegmentArena:
+    """One shared-memory segment holding a wave's packed arrays.
+
+    Arrays are placed back to back (64-byte aligned) by :meth:`place`,
+    which returns the descriptor tuple workers resolve with
+    :func:`resolve_array`.  ``unlink`` is idempotent; the arena
+    registers itself in the module registry on creation and removes
+    itself on unlink.
+    """
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"arena size must be positive, got {nbytes}")
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=nbytes)
+        )
+        self.name = self._shm.name
+        self.nbytes = nbytes
+        self.used = 0
+        # lint: allow[RPR804] parent-side arena registry (atexit backstop)
+        _LIVE_ARENAS[self.name] = self
+
+    def place(self, arr: np.ndarray) -> Tuple[str, str, int, Tuple[int, ...], str]:
+        """Copy ``arr`` into the segment; return its descriptor."""
+        shm = self._shm
+        if shm is None:
+            raise ValueError(f"arena {self.name} is closed")
+        arr = np.ascontiguousarray(arr)
+        offset = self.used
+        end = offset + arr.nbytes
+        if end > self.nbytes:
+            raise ValueError(
+                f"arena {self.name} overflow: {end} > {self.nbytes}"
+            )
+        dest: np.ndarray = np.frombuffer(
+            shm.buf, dtype=arr.dtype, count=arr.size, offset=offset
+        )
+        dest[:] = arr.reshape(-1)
+        self.used = _aligned(end)
+        return (SHM_TAG, self.name, offset, tuple(arr.shape), arr.dtype.str)
+
+    def unlink(self) -> bool:
+        """Close the mapping and remove the segment (idempotent)."""
+        shm = self._shm
+        if shm is None:
+            return False
+        self._shm = None
+        _LIVE_ARENAS.pop(self.name, None)
+        shm.close()
+        shm.unlink()
+        return True
+
+    @property
+    def live(self) -> bool:
+        return self._shm is not None
+
+
+def is_descriptor(value: Any) -> bool:
+    """True for the descriptor tuples :meth:`SegmentArena.place` emits."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 5
+        and value[0] == SHM_TAG
+    )
+
+
+def _payload_packed_dicts(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Every packed-sets dict reachable from a wave/chunk payload."""
+    for packed in payload.get("deps", {}).values():
+        yield packed
+    for packed in payload.get("atoms1", {}).values():
+        if packed is not None:
+            yield packed
+
+
+def payload_array_bytes(payload: Dict[str, Any]) -> int:
+    """Bytes of plain ndarray data a payload would ship pickled."""
+    total = 0
+    for packed in _payload_packed_dicts(payload):
+        for _key, arr in packed_array_items(packed):
+            if isinstance(arr, np.ndarray):
+                total += arr.nbytes
+    return total
+
+
+def share_wave_payload(payload: Dict[str, Any]) -> Optional[SegmentArena]:
+    """Move a wave payload's arrays into one shared segment, in place.
+
+    Each packed dict's ``env`` / ``scores`` arrays are replaced by
+    descriptor tuples; metadata (couplings, blocked, labels) stays
+    inline — it is small and pickles fine.  Returns the arena (caller
+    owns its lifetime) or ``None`` when there is nothing to share or
+    the platform refuses a segment (the payload is left untouched and
+    ships pickled).
+    """
+    placements: List[Tuple[Dict[str, Any], str, np.ndarray]] = []
+    total = 0
+    for packed in _payload_packed_dicts(payload):
+        for key, arr in packed_array_items(packed):
+            if isinstance(arr, np.ndarray):
+                placements.append((packed, key, arr))
+                total += _aligned(arr.nbytes)
+    if not placements:
+        return None
+    try:
+        arena = SegmentArena(total)
+    except (OSError, ValueError):
+        # No POSIX shm (or it is exhausted): fall back to pickled
+        # arrays.  The scheduler observes the None and counts the
+        # payload bytes against the pool instead.
+        return None
+    for packed, key, arr in placements:
+        packed[key] = arena.place(arr)
+    return arena
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it.
+
+    Python < 3.13 registers a segment with the ``resource_tracker`` on
+    *attach* as well as on create (no ``track=False`` yet), which makes
+    a worker with its own tracker try to unlink the parent's segment
+    when the worker exits.  Cleanup must belong to the creator alone —
+    the parent's create-time registration is the SIGKILL backstop — so
+    registration is suppressed for the attach call, exactly what the
+    3.13 ``track=False`` flag does.
+    """
+    original = resource_tracker.register
+    # lint: allow[RPR804] restored in finally; attach must not register
+    resource_tracker.register = _ignore_registration
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        # lint: allow[RPR804] restoring the stdlib tracker hook
+        resource_tracker.register = original
+
+
+def _ignore_registration(name: str, rtype: str) -> None:
+    """No-op stand-in for ``resource_tracker.register`` during attach."""
+
+
+def resolve_array(
+    descriptor: Tuple[str, str, int, Tuple[int, ...], str],
+    segments: Dict[str, shared_memory.SharedMemory],
+) -> np.ndarray:
+    """Copy one described array out of its (cached) attached segment."""
+    _tag, name, offset, shape, dtype_str = descriptor
+    segment = segments.get(name)
+    if segment is None:
+        segment = segments[name] = _attach(name)
+    dtype = np.dtype(dtype_str)
+    count = 1
+    for dim in shape:
+        count *= dim
+    view: np.ndarray = np.frombuffer(
+        segment.buf, dtype=dtype, count=count, offset=offset
+    )
+    out = view.reshape(shape).copy()
+    # Unpacked rows are row views of this matrix and are never mutated
+    # by the engine; read-only marking turns an accidental write into
+    # an error instead of silent state divergence.
+    out.flags.writeable = False
+    return out
+
+
+def resolve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker side: materialize every descriptor in a chunk payload.
+
+    Returns a new payload whose packed dicts carry plain arrays again
+    (copy-on-read); all segment mappings are closed before returning,
+    so the worker holds no reference into parent-owned memory.  A
+    payload without descriptors is returned unchanged.
+    """
+    if not any(
+        is_descriptor(arr)
+        for packed in _payload_packed_dicts(payload)
+        for _key, arr in packed_array_items(packed)
+    ):
+        return payload
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    try:
+        resolved = dict(payload)
+        resolved["deps"] = {
+            key: _resolve_packed(packed, segments)
+            for key, packed in payload.get("deps", {}).items()
+        }
+        resolved["atoms1"] = {
+            net: None if packed is None else _resolve_packed(packed, segments)
+            for net, packed in payload.get("atoms1", {}).items()
+        }
+        return resolved
+    finally:
+        for segment in segments.values():
+            segment.close()
+
+
+def _resolve_packed(
+    packed: Dict[str, Any],
+    segments: Dict[str, shared_memory.SharedMemory],
+) -> Dict[str, Any]:
+    out = dict(packed)
+    for key, arr in packed_array_items(packed):
+        if is_descriptor(arr):
+            out[key] = resolve_array(arr, segments)
+    return out

@@ -15,7 +15,7 @@ engine — merges and scoring always allocate fresh arrays).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,24 @@ from ..core.aggressor_set import EnvelopeSet
 
 #: Sentinel payload for an empty list (no matrix to ship).
 _EMPTY = {"m": 0}
+
+#: Keys of a packed dict that hold numpy arrays.  The shared-memory
+#: layer (:mod:`repro.perf.shm`) replaces exactly these values with
+#: descriptor tuples when a wave payload moves into a shared segment.
+ARRAY_KEYS = ("env", "scores")
+
+
+def packed_array_items(
+    packed: Dict[str, object],
+) -> Iterator[Tuple[str, object]]:
+    """The (key, value) array slots present in one packed dict.
+
+    Values are ndarrays in a freshly packed dict, or shm descriptor
+    tuples after :func:`repro.perf.shm.share_wave_payload` ran over it.
+    """
+    for key in ARRAY_KEYS:
+        if key in packed:
+            yield key, packed[key]
 
 
 def pack_sets(sets: Sequence[EnvelopeSet]) -> Dict[str, object]:

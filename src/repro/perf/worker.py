@@ -33,6 +33,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..runtime import faultinject
 from .memo import counter_delta, global_cache_stats
+from .shm import resolve_payload
 from .snapshot import pack_sets, unpack_sets
 
 #: The per-process engine replica (set once by :func:`init_worker`).
@@ -76,25 +77,33 @@ def init_worker(engine_bytes: bytes) -> None:
     _ENGINE = pickle.loads(engine_bytes)
 
 
-def make_chunk_payload(
+def make_wave_payload(
     engine: Any,
     nets: List[str],
     i: int,
 ) -> Dict[str, Any]:
-    """Parent side: build the self-contained payload for one chunk.
+    """Parent side: pack everything a wave's sweeps read, exactly once.
 
-    ``deps`` maps ``(net, cardinality)`` to a packed irredundant list
-    covering everything the chunk's sweeps read; ``atoms1`` ships each
-    victim's non-primary cardinality-1 atoms (the primaries are already
-    in the replica).
+    ``deps`` maps ``(net, cardinality)`` to a packed irredundant list;
+    ``atoms1`` ships each victim's non-primary cardinality-1 atoms (the
+    primaries are already in the replica); ``needs`` records, per
+    victim, which dep keys its sweep reads, so chunk payloads are a
+    by-reference selection (:func:`chunk_payload_from_wave`) rather
+    than a re-pack.  Fanins shared by several chunks of the wave are
+    therefore packed — and, with the shared-memory arena, shipped —
+    once per wave instead of once per chunk.
     """
     cfg = engine.config
     deps: Dict[Tuple[str, int], Dict[str, Any]] = {}
     atoms1: Dict[str, Optional[Dict[str, Any]]] = {}
+    needs: Dict[str, List[Tuple[str, int]]] = {}
     for net in nets:
         ctx = engine.contexts[net]
+        keys: List[Tuple[str, int]] = []
         if i >= 2:
-            deps[(net, i - 1)] = pack_sets(ctx.ilists.get(i - 1, []))
+            keys.append((net, i - 1))
+            if (net, i - 1) not in deps:
+                deps[(net, i - 1)] = pack_sets(ctx.ilists.get(i - 1, []))
             atoms1[net] = pack_sets(
                 [a for a in ctx.atoms1 if not a.label.startswith("primary:")]
             )
@@ -102,25 +111,71 @@ def make_chunk_payload(
             atoms1[net] = None
         if cfg.use_pseudo:
             for u in ctx.inputs:
-                if u in engine.contexts and (u, i) not in deps:
-                    deps[(u, i)] = pack_sets(
-                        engine.contexts[u].ilists.get(i, [])
-                    )
+                if u in engine.contexts:
+                    keys.append((u, i))
+                    if (u, i) not in deps:
+                        deps[(u, i)] = pack_sets(
+                            engine.contexts[u].ilists.get(i, [])
+                        )
         if cfg.use_higher_order and i >= 2:
             for info in ctx.primary_info:
                 a = info.aggressor
-                if a in engine.contexts and (a, i - 1) not in deps:
-                    deps[(a, i - 1)] = pack_sets(
-                        engine.contexts[a].ilists.get(i - 1, [])
-                    )
+                if a in engine.contexts:
+                    keys.append((a, i - 1))
+                    if (a, i - 1) not in deps:
+                        deps[(a, i - 1)] = pack_sets(
+                            engine.contexts[a].ilists.get(i - 1, [])
+                        )
+        needs[net] = keys
     return {
         "i": i,
         "beam_cap": engine._beam_cap,
-        "nets": list(nets),
         "deps": deps,
         "atoms1": atoms1,
+        "needs": needs,
         "trace": engine.tracer.enabled,
     }
+
+
+def chunk_payload_from_wave(
+    wave_payload: Dict[str, Any],
+    nets: List[str],
+) -> Dict[str, Any]:
+    """Select one chunk's payload out of a wave payload, by reference.
+
+    Pure dict work: no array is copied or re-packed here, so a dep two
+    chunks share points at the same packed dict (or the same shm
+    descriptor) in both payloads.
+    """
+    deps: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    needs = wave_payload["needs"]
+    wave_deps = wave_payload["deps"]
+    for net in nets:
+        for key in needs[net]:
+            if key not in deps:
+                deps[key] = wave_deps[key]
+    return {
+        "i": wave_payload["i"],
+        "beam_cap": wave_payload["beam_cap"],
+        "nets": list(nets),
+        "deps": deps,
+        "atoms1": {net: wave_payload["atoms1"][net] for net in nets},
+        "trace": wave_payload["trace"],
+    }
+
+
+def make_chunk_payload(
+    engine: Any,
+    nets: List[str],
+    i: int,
+) -> Dict[str, Any]:
+    """Parent side: build the self-contained payload for one chunk.
+
+    Thin composition kept for callers that address a single chunk (and
+    as the lint tier's payload-role entrypoint); the scheduler builds
+    the wave payload once and selects per-chunk views from it.
+    """
+    return chunk_payload_from_wave(make_wave_payload(engine, nets, i), nets)
 
 
 def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -135,6 +190,9 @@ def run_chunk(payload: Dict[str, Any]) -> Dict[str, Any]:
     t_start = time.perf_counter()  # lint: allow[RPR801] elapsed_s provenance
     i = int(payload["i"])
     _maybe_inject_pool_faults(f"{payload['nets'][0]}@k{i}")
+    # Materialize any shared-memory descriptors (copy-on-read; the
+    # segment mapping is closed before the sweeps run).
+    payload = resolve_payload(payload)
     engine._beam_cap = payload["beam_cap"]
     for (net, card), packed in payload["deps"].items():
         engine.contexts[net].ilists[card] = unpack_sets(packed)

@@ -45,6 +45,7 @@ INCIDENT_KINDS = (
     "pool_respawn",
     "quarantine",
     "serial_fallback",
+    "segment_leak",
 )
 
 

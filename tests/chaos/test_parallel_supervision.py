@@ -24,12 +24,26 @@ import pytest
 from repro.api import analyze
 from repro.circuit.generator import random_design
 from repro.core.engine import TopKConfig, TopKEngine
+from repro.perf import shm
 from repro.runtime import FaultSpec, RunBudget, injected
 from repro.runtime.checkpoint import load_checkpoint
 from repro.verify import check_certificate
 
 # Enforced by pytest-timeout in CI; inert (registered marker) locally.
 pytestmark = pytest.mark.timeout(300)
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """No chaos path may leak a shared-memory segment.
+
+    Worker kills, pool respawns, chunk timeouts, quarantines, and
+    deadline aborts all cross the wave scheduler's unlink paths; after
+    any of them the arena registry must be empty again.
+    """
+    assert shm.live_arenas() == ()
+    yield
+    assert shm.live_arenas() == ()
 
 #: Worker-side guards need the injector inherited into pool processes.
 fork_only = pytest.mark.skipif(
@@ -253,6 +267,10 @@ def test_clean_parallel_run_has_empty_ledger(design):
     assert not [
         w for w in caught if issubclass(w.category, RuntimeWarning)
     ]
+    # Zero-copy transport: wave arrays went through shared memory, not
+    # the pool pipe, and every segment was unlinked by solve end.
+    assert solution.stats.shm_payload_bytes > 0
+    assert solution.stats.pool_payload_bytes == 0
 
 
 def test_exec_metrics_counters_recorded(design):
@@ -291,6 +309,10 @@ class TestResumeDuringParallelSolve:
         assert partial.degraded
         assert partial.degradation.reason == "deadline"
         assert partial.degradation.completed_k == 1
+        # The deadline abort unwound through the wave finally: the
+        # aborted wave's segment is already gone, not merely queued
+        # for the exit hook.
+        assert shm.live_arenas() == ()
         assert os.path.exists(ckpt)
         assert load_checkpoint(ckpt)["solved_upto"] == 1
 

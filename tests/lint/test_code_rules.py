@@ -387,6 +387,59 @@ class TestRPR806:
         report = lint(write_tree(tmp_path, files))
         assert report.findings == []
 
+    def test_live_shared_memory_handle_in_payload(self, tmp_path):
+        files = dict(CLEAN_TREE)
+        files["perf/worker.py"] = """
+            from multiprocessing import shared_memory
+
+            def init_worker(blob):
+                return blob
+
+            def run_chunk(payload):
+                return {"i": payload["i"]}
+
+            def make_chunk_payload(i, name):
+                return {"i": i, "seg": shared_memory.SharedMemory(name=name)}
+        """
+        report = lint(write_tree(tmp_path, files))
+        assert codes(report) == ["RPR806"]
+        (finding,) = report.findings
+        assert finding.severity is Severity.ERROR
+        assert "shared-memory handle" in finding.message
+        assert "descriptor tuple" in finding.message
+
+    def test_shm_descriptor_tuple_is_sanctioned(self, tmp_path):
+        files = dict(CLEAN_TREE)
+        files["perf/worker.py"] = """
+            def init_worker(blob):
+                return blob
+
+            def run_chunk(payload):
+                return {"i": payload["i"]}
+
+            def make_chunk_payload(i, arena, arr):
+                return {"i": i, "env": ("shm", arena, 0, arr.shape, "<f8")}
+        """
+        report = lint(write_tree(tmp_path, files))
+        assert report.findings == []
+
+    def test_memoryview_in_payload(self, tmp_path):
+        files = dict(CLEAN_TREE)
+        files["perf/worker.py"] = """
+            def init_worker(blob):
+                return blob
+
+            def run_chunk(payload):
+                return {"i": payload["i"]}
+
+            def make_chunk_payload(i, buf):
+                return {"i": i, "view": memoryview(buf)}
+        """
+        report = lint(write_tree(tmp_path, files))
+        assert codes(report) == ["RPR806"]
+        (finding,) = report.findings
+        assert "memoryview" in finding.message
+
 
 class TestBaselineWorkflow:
     def test_baseline_absorbs_known_findings(self, tmp_path):

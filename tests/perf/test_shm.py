@@ -1,0 +1,163 @@
+"""Unit tests for the shared-memory wave-payload transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import shm
+from repro.perf.shm import (
+    SegmentArena,
+    is_descriptor,
+    payload_array_bytes,
+    resolve_payload,
+    share_wave_payload,
+)
+from repro.perf.snapshot import pack_sets, unpack_sets
+from repro.core.aggressor_set import EnvelopeSet
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must leave the module registry empty."""
+    assert shm.live_arenas() == ()
+    yield
+    assert shm.live_arenas() == ()
+
+
+def _packed(n_sets: int = 3, n: int = 16, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sets = [
+        EnvelopeSet(
+            couplings=frozenset({i}),
+            env=rng.uniform(0.0, 1.0, size=n),
+            score=float(i),
+            label=f"s{i}",
+        )
+        for i in range(n_sets)
+    ]
+    return pack_sets(sets)
+
+
+def _wave_payload():
+    return {
+        "i": 2,
+        "beam_cap": None,
+        "deps": {("a", 1): _packed(seed=1), ("b", 1): _packed(seed=2)},
+        "atoms1": {"a": _packed(seed=3), "b": None},
+        "needs": {"a": [("a", 1)], "b": [("b", 1)]},
+        "trace": False,
+    }
+
+
+class TestSegmentArena:
+    def test_place_and_resolve_roundtrip(self):
+        arena = SegmentArena(4096)
+        try:
+            arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+            desc = arena.place(arr)
+            assert is_descriptor(desc)
+            assert desc[3] == (3, 4)
+            out = shm.resolve_array(desc, segments := {})
+            assert out.tolist() == arr.tolist()
+            assert out.dtype == arr.dtype
+            assert not out.flags.writeable
+        finally:
+            for seg in segments.values():
+                seg.close()
+            arena.unlink()
+
+    def test_offsets_are_aligned(self):
+        arena = SegmentArena(4096)
+        try:
+            d1 = arena.place(np.ones(3))  # 24 bytes -> next slot at 64
+            d2 = arena.place(np.ones(5))
+            assert d1[2] == 0
+            assert d2[2] == 64
+        finally:
+            arena.unlink()
+
+    def test_overflow_raises(self):
+        arena = SegmentArena(64)
+        try:
+            with pytest.raises(ValueError, match="overflow"):
+                arena.place(np.ones(64))
+        finally:
+            arena.unlink()
+
+    def test_unlink_idempotent_and_registry(self):
+        arena = SegmentArena(128)
+        assert arena.name in shm.live_arenas()
+        assert arena.unlink() is True
+        assert arena.unlink() is False
+        assert arena.name not in shm.live_arenas()
+        assert not arena.live
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SegmentArena(0)
+
+
+class TestSharePayload:
+    def test_share_replaces_arrays_with_descriptors(self):
+        payload = _wave_payload()
+        plain_bytes = payload_array_bytes(payload)
+        assert plain_bytes > 0
+        arena = share_wave_payload(payload)
+        assert arena is not None
+        try:
+            assert payload_array_bytes(payload) == 0
+            for packed in payload["deps"].values():
+                assert is_descriptor(packed["env"])
+                assert is_descriptor(packed["scores"])
+            assert is_descriptor(payload["atoms1"]["a"]["env"])
+            assert payload["atoms1"]["b"] is None
+            # Metadata stays inline.
+            assert "labels" in payload["deps"][("a", 1)]
+            assert arena.used >= plain_bytes
+        finally:
+            arena.unlink()
+
+    def test_nothing_to_share_returns_none(self):
+        payload = {
+            "i": 1,
+            "deps": {("a", 0): {"m": 0}},
+            "atoms1": {"a": None},
+        }
+        assert share_wave_payload(payload) is None
+        assert payload["deps"][("a", 0)] == {"m": 0}
+
+    def test_resolve_payload_roundtrips_sets(self):
+        payload = _wave_payload()
+        reference = {
+            key: [
+                (s.couplings, s.env.tolist(), s.score, s.label)
+                for s in unpack_sets(packed)
+            ]
+            for key, packed in payload["deps"].items()
+        }
+        arena = share_wave_payload(payload)
+        assert arena is not None
+        try:
+            resolved = resolve_payload(payload)
+            assert resolved is not payload
+            for key, packed in resolved["deps"].items():
+                got = [
+                    (s.couplings, s.env.tolist(), s.score, s.label)
+                    for s in unpack_sets(packed)
+                ]
+                assert got == reference[key]
+            assert resolved["atoms1"]["b"] is None
+        finally:
+            arena.unlink()
+
+    def test_resolve_payload_passthrough_without_descriptors(self):
+        payload = _wave_payload()
+        assert resolve_payload(payload) is payload
+
+    def test_exit_hook_drains_registry(self):
+        arena = SegmentArena(128)
+        assert shm.live_arenas() == (arena.name,)
+        shm._unlink_all_arenas()
+        assert shm.live_arenas() == ()
+        assert not arena.live
