@@ -8,7 +8,9 @@
 * ``python -m repro bench ...`` — the benchmark/regression-gate runner
   (same as ``repro-bench``);
 * ``python -m repro trace ...`` — the solve tracer (same as
-  ``repro-trace``).
+  ``repro-trace``);
+* ``python -m repro serve ...`` — the analysis service (same as
+  ``repro-serve``).
 """
 
 from __future__ import annotations
@@ -35,6 +37,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.cli import main as trace_main
 
         return trace_main(args[1:])
+    if args and args[0] == "serve":
+        from .service.cli import main as serve_main
+
+        return serve_main(args[1:])
     if args and args[0] == "topk":
         args = args[1:]
     from .cli import main as topk_main

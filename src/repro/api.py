@@ -9,7 +9,7 @@ of the subpackages; power users can reach down to
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import FrozenSet, Optional, Union
+from typing import Callable, FrozenSet, Optional, Union
 
 from .circuit.design import Design
 from .core.engine import ADDITION, ELIMINATION, TopKConfig, TopKEngine, TopKError
@@ -17,6 +17,7 @@ from .core.report import TopKResult
 from .core.topk_addition import top_k_addition_set
 from .core.topk_elimination import top_k_elimination_set
 from .noise.analysis import NoiseConfig, analyze_noise
+from .perf.memo import EnvelopeMemo
 from .runtime.budget import ON_BUDGET_MODES, RunBudget
 from .timing.sta import run_sta
 
@@ -43,6 +44,8 @@ def analyze(
     max_chunk_retries: Optional[int] = None,
     chunk_timeout_s: Optional[float] = None,
     trace: Union[None, bool, str] = None,
+    memo: Optional[EnvelopeMemo] = None,
+    cancel_check: Optional[Callable[[], bool]] = None,
 ) -> TopKResult:
     """Compute the top-k aggressor set of either flavor.
 
@@ -109,6 +112,19 @@ def analyze(
         * a path string — record *and* save to that file on the way out
           (``.jsonl`` → JSON-lines, anything else → Chrome trace_event,
           loadable at ``ui.perfetto.dev``).
+    memo:
+        A warm :class:`~repro.perf.memo.EnvelopeMemo` to seed the
+        engine with (the analysis service thaws one from its
+        persistent store).  Memo entries are pure functions of their
+        keys, so a warm start is bit-identical to a cold one — only
+        faster.
+    cancel_check:
+        Cooperative cancel flag, folded into the budget (see
+        :class:`~repro.runtime.budget.RunBudget`): polled at the
+        solver's cancellation checkpoints; when it returns True the
+        solve halts with reason ``"cancelled"`` (degrade mode) or
+        raises (raise mode).  Combine with ``checkpoint_path`` to make
+        a cancelled job resumable from its last cardinality boundary.
 
     >>> from repro import make_paper_benchmark, analyze
     >>> result = analyze(make_paper_benchmark("i1"), k=3)
@@ -135,6 +151,7 @@ def analyze(
             ("checkpoint_path", checkpoint_path),
             ("max_candidates", max_candidates),
             ("convergence_retries", convergence_retries),
+            ("cancel_check", cancel_check),
         )
         if value is not None
     }
@@ -164,6 +181,15 @@ def analyze(
             config = replace(base_cfg, trace=True)
     solver = top_k_addition_set if mode == ADDITION else top_k_elimination_set
     if lint in (None, False):
+        if memo is not None:
+            cfg = config if config is not None else AnalysisConfig()
+            engine = TopKEngine(design, mode, cfg, memo=memo)
+            try:
+                return _checked(
+                    solver(design, k, cfg, engine=engine), design, certify, trace
+                )
+            finally:
+                engine.close()
         return _checked(solver(design, k, config), design, certify, trace)
 
     from .lint import LintConfig, assert_clean, run_lint
@@ -180,18 +206,27 @@ def analyze(
         from .analysis import compute_semantic_facts
 
         facts = compute_semantic_facts(design, mode=mode, config=cfg)
-        engine = TopKEngine(design, mode, cfg, facts=facts)
+        engine = TopKEngine(design, mode, cfg, memo=memo, facts=facts)
         result = _checked(
             solver(design, k, cfg, engine=engine), design, certify, trace
         )
         return replace(result, lint_report=report)
 
     if lint != "audit":
-        result = _checked(solver(design, k, cfg), design, certify, trace)
+        if memo is not None:
+            engine = TopKEngine(design, mode, cfg, memo=memo)
+            try:
+                result = _checked(
+                    solver(design, k, cfg, engine=engine), design, certify, trace
+                )
+            finally:
+                engine.close()
+        else:
+            result = _checked(solver(design, k, cfg), design, certify, trace)
         return replace(result, lint_report=report)
 
     audit_cfg = replace(cfg, audit_dominance=True)
-    engine = TopKEngine(design, mode, audit_cfg)
+    engine = TopKEngine(design, mode, audit_cfg, memo=memo)
     result = _checked(
         solver(design, k, audit_cfg, engine=engine), design, certify, trace
     )

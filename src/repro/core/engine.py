@@ -944,6 +944,20 @@ class TopKEngine:
             return
         site = f"{net}@k{cardinality}"
         policy = self.monitor.budget.on_budget
+        if self.monitor.cancel_requested():
+            # Checked before the deadline so a cancelled job records
+            # "cancelled" provenance even though the cancel flag also
+            # trips deadline_exceeded (to stop long inner loops).
+            if policy == "raise":
+                raise BudgetExceededError(
+                    "solve cancelled",
+                    reason="cancelled",
+                    net=net,
+                    cardinality=cardinality,
+                    elapsed_s=round(self.monitor.elapsed(), 3),
+                    phase=phase,
+                )
+            raise _HaltSolve("cancelled", net, cardinality)
         if self.monitor.deadline_exceeded(site):
             if policy == "raise":
                 raise BudgetExceededError(

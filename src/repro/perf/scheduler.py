@@ -168,12 +168,20 @@ class WaveScheduler:
         its monitor), accumulated stats, the prune log, and any
         degradation or incident state.  Workers therefore never tick
         budgets or double-count — they only report deltas.
+
+        The memo crosses into the replica through its freeze boundary
+        (:meth:`EnvelopeMemo.freeze <repro.perf.memo.EnvelopeMemo.
+        freeze>`): the replica gets an independently-owned thaw of a
+        consistent snapshot, so a service thread freezing the same memo
+        concurrently can never observe (or publish) a torn state.
         """
         from ..core.engine import SolveStats, TopKEngine
+        from .memo import EnvelopeMemo
 
         eng = self.engine
         clone = TopKEngine.__new__(TopKEngine)
         clone.__dict__.update(eng.__getstate__())
+        clone.memo = EnvelopeMemo.thaw(eng.memo.freeze())
         clone.config = replace(eng.config, budget=None)
         clone.monitor = RuntimeMonitor(None)
         clone.stats = SolveStats()

@@ -28,8 +28,8 @@ deterministically.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from . import faultinject
 from .errors import BudgetExceededError
@@ -77,6 +77,16 @@ class RunBudget:
         Retries with escalating damping granted to the noise fixpoint
         before a :class:`~repro.noise.analysis.ConvergenceError` is
         final (see :func:`repro.noise.analysis.analyze_noise_resilient`).
+    cancel_check:
+        Optional zero-argument callable polled at the solver's
+        cancellation checkpoints (the analysis service wires this to a
+        per-job cancel flag).  When it returns True the solve stops
+        cooperatively at the next checkpoint — halting with reason
+        ``"cancelled"`` in degrade mode, raising
+        :class:`~repro.runtime.errors.BudgetExceededError` in raise
+        mode.  Excluded from equality/repr (it is runtime wiring, not
+        part of the budget's value) and never part of the checkpoint
+        fingerprint.
     """
 
     deadline_s: Optional[float] = None
@@ -88,6 +98,9 @@ class RunBudget:
     checkpoint_path: Optional[str] = None
     checkpoint_every_s: float = 0.0
     convergence_retries: int = 0
+    cancel_check: Optional[Callable[[], bool]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.on_budget not in ON_BUDGET_MODES:
@@ -169,10 +182,24 @@ class RuntimeMonitor:
         return max(0.0, deadline - self.elapsed())
 
     # -- exhaustion tests ----------------------------------------------
+    def cancel_requested(self) -> bool:
+        """True when the budget's cooperative cancel flag is raised."""
+        check = self.budget.cancel_check
+        return check is not None and bool(check())
+
     def deadline_exceeded(self, site: str = "") -> bool:
-        """True when the wall-clock deadline (real or injected) passed."""
+        """True when the wall-clock deadline (real or injected) passed.
+
+        A raised cancel flag also reports True here so that long inner
+        loops (the noise fixpoint, chunk waits) stop promptly on
+        cancellation; the engine's tick checks
+        :meth:`cancel_requested` *first*, so the recorded halt reason
+        stays ``"cancelled"`` rather than ``"deadline"``.
+        """
         injector = faultinject.active()
         if injector is not None and injector.fires("deadline", site):
+            return True
+        if self.cancel_requested():
             return True
         deadline = self.budget.deadline_s
         return deadline is not None and self.elapsed() > deadline

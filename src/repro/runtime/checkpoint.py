@@ -36,6 +36,7 @@ interrupt during the write never leaves a torn checkpoint behind.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Any, Dict
@@ -43,6 +44,19 @@ from typing import Any, Dict
 from .errors import CheckpointError
 
 CHECKPOINT_VERSION = 1
+
+
+def fingerprint_digest(fingerprint: Dict[str, Any]) -> str:
+    """Stable hex digest of a fingerprint (or any JSON-able identity).
+
+    Canonical JSON (sorted keys, no whitespace) hashed with SHA-256 —
+    the content address the service store files results, certificates,
+    memo snapshots, and resumable shards under.  Two runs agree on the
+    digest iff they agree on the fingerprint value, so a digest
+    collision across configs is as hard as a SHA-256 collision.
+    """
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def design_fingerprint(design: Any, mode: str, config: Any) -> Dict[str, Any]:

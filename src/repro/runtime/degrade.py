@@ -48,8 +48,10 @@ class DegradationReport:
     Attributes
     ----------
     reason:
-        ``"deadline"``, ``"candidates"`` or ``"memory"`` — the first
-        exhausted cap.
+        ``"deadline"``, ``"candidates"``, ``"memory"`` or
+        ``"cancelled"`` — the first exhausted cap (or the cooperative
+        cancel flag, see :attr:`RunBudget.cancel_check
+        <repro.runtime.budget.RunBudget.cancel_check>`).
     rung:
         1 — beam narrowed, sweep completed; 2 — sweep halted early.
     completed_k:
@@ -143,3 +145,33 @@ class DegradationReport:
                 inc.to_json() for inc in self.exec_incidents
             ],
         }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "DegradationReport":
+        # "optimality_gap" in the JSON form is derived, not state; it is
+        # recomputed from the victims on the way back in.
+        return cls(
+            reason=str(payload["reason"]),
+            rung=int(payload["rung"]),
+            completed_k=int(payload["completed_k"]),
+            requested_k=int(payload["requested_k"]),
+            beam_width=(
+                None
+                if payload.get("beam_width") is None
+                else int(payload["beam_width"])
+            ),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            victims=[
+                VictimDegradation(
+                    net=str(v["net"]),
+                    cardinality=int(v["cardinality"]),
+                    dropped=int(v["dropped"]),
+                    best_dropped_score=float(v["best_dropped_score"]),
+                )
+                for v in payload.get("victims", [])
+            ],
+            exec_incidents=[
+                ExecIncident.from_json(inc)
+                for inc in payload.get("exec_incidents", [])
+            ],
+        )

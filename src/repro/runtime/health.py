@@ -29,6 +29,23 @@ from typing import Any, Callable, Dict, List, Optional
 DEFAULT_SUSPECT_AFTER = 6
 
 
+def monotonic_s() -> float:
+    """Sanctioned monotonic clock read for supervision-layer code.
+
+    The RPR8xx code tier forbids clock reads reachable from the solve
+    and worker entrypoints except through allow-listed modules (this
+    one); service-side bookkeeping (job queue wait, solve wall-clock)
+    must route its timing through here rather than calling
+    ``time.perf_counter`` at the call site.
+    """
+    return time.perf_counter()
+
+
+def wall_clock_s() -> float:
+    """Sanctioned wall-clock read (epoch seconds) for job metadata."""
+    return time.time()
+
+
 @dataclass
 class WorkerHealth:
     """Ledger of one pool worker's observed behavior."""

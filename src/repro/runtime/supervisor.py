@@ -37,7 +37,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-#: Incident kinds recorded by the supervised scheduler.
+#: Incident kinds recorded by the supervised scheduler and the
+#: analysis service ("store_corrupt": a persistent-store entry failed
+#: validation and the job fell back to a cold solve).
 INCIDENT_KINDS = (
     "chunk_failure",
     "chunk_timeout",
@@ -46,6 +48,7 @@ INCIDENT_KINDS = (
     "quarantine",
     "serial_fallback",
     "segment_leak",
+    "store_corrupt",
 )
 
 
@@ -82,6 +85,16 @@ class AttemptRecord:
             "elapsed_s": round(self.elapsed_s, 6),
             "backoff_s": round(self.backoff_s, 6),
         }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "AttemptRecord":
+        return cls(
+            attempt=int(payload["attempt"]),
+            error=payload.get("error"),
+            detail=str(payload.get("detail", "")),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            backoff_s=float(payload.get("backoff_s", 0.0)),
+        )
 
 
 @dataclass
@@ -122,6 +135,18 @@ class ExecIncident:
             "resolution": self.resolution,
             "attempts": [a.to_json() for a in self.attempts],
         }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "ExecIncident":
+        return cls(
+            kind=str(payload["kind"]),
+            site=str(payload.get("site", "")),
+            reason=str(payload.get("reason", "")),
+            resolution=str(payload.get("resolution", "unresolved")),
+            attempts=[
+                AttemptRecord.from_json(a) for a in payload.get("attempts", [])
+            ],
+        )
 
     def __str__(self) -> str:
         tail = f" after {len(self.attempts)} attempt(s)" if self.attempts else ""

@@ -1,0 +1,62 @@
+"""Analysis-as-a-service: async job API over the top-k solver.
+
+The package turns :func:`repro.api.analyze` into a long-lived service:
+
+* :class:`AnalysisService` — asyncio core: priority-FIFO queue, bounded
+  worker slots, single-flight dedup, per-job budgets/cancel, resumable
+  shard checkpoints, and a persistent cross-job store.
+* :class:`ResultStore` — disk-backed content-addressed store of result
+  envelopes, certificates, and memo snapshots, safe across processes.
+* :class:`ServiceServer` / :func:`serve` — stdlib HTTP/JSON front end.
+* :class:`ServiceClient` (in-process, async) and :class:`HttpClient`
+  (blocking, over the wire) — the two ways to talk to it.
+* ``repro-serve`` (:mod:`repro.service.cli`) — operational CLI with the
+  CI smoke.
+
+See docs/service.md for the protocol, store layout, and metrics.
+"""
+
+from .client import HttpClient, ServiceClient
+from .core import AnalysisService
+from .http import ServiceServer, serve
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobSpec,
+    JobView,
+    NotFoundError,
+    ServiceError,
+    StoreStats,
+)
+from .serialize import result_from_json, result_to_json, results_equal
+from .store import ResultStore, StoreCorruptError
+
+__all__ = [
+    "AnalysisService",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "HttpClient",
+    "JOB_STATES",
+    "JobSpec",
+    "JobView",
+    "NotFoundError",
+    "QUEUED",
+    "RUNNING",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "StoreCorruptError",
+    "StoreStats",
+    "TERMINAL_STATES",
+    "result_from_json",
+    "result_to_json",
+    "results_equal",
+    "serve",
+]

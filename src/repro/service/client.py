@@ -1,0 +1,165 @@
+"""Clients for the analysis service.
+
+* :class:`ServiceClient` — in-process async client over an
+  :class:`~repro.service.core.AnalysisService`; what the test suite
+  uses (no sockets, same event loop).
+* :class:`HttpClient` — tiny *blocking* ``urllib`` client for the HTTP
+  front end; what ``repro-serve smoke`` and operational scripts use.
+  Blocking is a feature here: the smoke exercises the server from the
+  outside, like a real caller would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from ..core.report import TopKResult
+from ..runtime.health import monotonic_s
+from .core import AnalysisService
+from .protocol import JobSpec, JobView, ServiceError
+from .serialize import result_from_json
+
+
+class ServiceClient:
+    """Async in-process client (shares the service's event loop)."""
+
+    def __init__(self, service: AnalysisService) -> None:
+        self.service = service
+
+    async def submit(self, spec: JobSpec) -> JobView:
+        return await self.service.submit(spec)
+
+    async def status(self, job_id: str) -> JobView:
+        return await self.service.status(job_id)
+
+    async def jobs(self) -> List[JobView]:
+        return await self.service.jobs()
+
+    async def cancel(self, job_id: str) -> JobView:
+        return await self.service.cancel(job_id)
+
+    async def wait(self, job_id: str) -> JobView:
+        return await self.service.wait(job_id)
+
+    async def result(self, job_id: str) -> Optional[TopKResult]:
+        return await self.service.result(job_id)
+
+    async def run(self, spec: JobSpec) -> TopKResult:
+        """Submit, wait, and return the result (raises on failure)."""
+        view = await self.submit(spec)
+        final = await self.wait(view.job_id)
+        result = await self.result(view.job_id)
+        if result is None:
+            raise ServiceError(
+                f"job {view.job_id} ended {final.state} without a result",
+                job=view.job_id,
+            )
+        return result
+
+
+class HttpClient:
+    """Blocking JSON-over-HTTP client for :mod:`repro.service.http`."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        accept: Any = (200,),
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            f"{self.base}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                status = resp.status
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {"error": str(exc)}
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base}: {exc}"
+            ) from exc
+        if status not in accept:
+            raise ServiceError(
+                f"{method} {path} -> HTTP {status}: "
+                f"{payload.get('error', payload)}",
+                status=status,
+            )
+        payload["_status"] = status
+        return payload
+
+    # -- protocol ------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(self, spec: JobSpec) -> JobView:
+        payload = self._request("POST", "/v1/jobs", body=spec.to_json())
+        payload.pop("_status", None)
+        return JobView.from_json(payload)
+
+    def status(self, job_id: str) -> JobView:
+        payload = self._request("GET", f"/v1/jobs/{job_id}")
+        payload.pop("_status", None)
+        return JobView.from_json(payload)
+
+    def jobs(self) -> List[JobView]:
+        payload = self._request("GET", "/v1/jobs")
+        return [JobView.from_json(v) for v in payload["jobs"]]
+
+    def cancel(self, job_id: str) -> JobView:
+        payload = self._request("POST", f"/v1/jobs/{job_id}/cancel")
+        payload.pop("_status", None)
+        return JobView.from_json(payload)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def store_summary(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/store")
+
+    def merged_trace(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/trace")
+
+    def try_result(self, job_id: str) -> Optional[TopKResult]:
+        """The result if the job is done; None while it is still open."""
+        payload = self._request(
+            "GET", f"/v1/jobs/{job_id}/result", accept=(200, 202)
+        )
+        if payload.pop("_status") == 202:
+            return None
+        payload.pop("job", None)
+        return result_from_json(payload)
+
+    def poll_result(
+        self, job_id: str, poll_s: float = 0.05, timeout_s: float = 300.0
+    ) -> TopKResult:
+        """Poll until the job finishes; raises on failure/cancel/timeout."""
+        deadline = monotonic_s() + timeout_s
+        while True:
+            result = self.try_result(job_id)
+            if result is not None:
+                return result
+            if monotonic_s() > deadline:
+                raise ServiceError(
+                    f"job {job_id} did not finish within {timeout_s}s",
+                    job=job_id,
+                )
+            time.sleep(poll_s)

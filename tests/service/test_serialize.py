@@ -1,0 +1,74 @@
+"""Result envelope round-trips must be bit-exact on every proved field."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import analyze
+from repro.runtime.faultinject import FaultSpec, injected
+from repro.service.serialize import (
+    RESULT_FORMAT_VERSION,
+    result_from_json,
+    result_to_json,
+    results_equal,
+)
+from repro.verify import check_certificate
+
+
+def _roundtrip(result):
+    """Encode through actual JSON text, the way the store does."""
+    payload = json.loads(json.dumps(result_to_json(result)))
+    return result_from_json(payload)
+
+
+class TestResultRoundTrip:
+    def test_plain_result_bit_exact(self, tiny_design):
+        result = analyze(tiny_design, 2)
+        back = _roundtrip(result)
+        assert results_equal(result, back)
+        assert back.delay == result.delay
+        assert back.requested_k == result.requested_k
+        assert back.couplings == result.couplings
+        assert back.details == result.details
+
+    def test_certified_result_keeps_valid_certificate(self, tiny_design):
+        result = analyze(tiny_design, 2, certify=True)
+        assert result.certificate is not None
+        back = _roundtrip(result)
+        assert back.certificate is not None
+        report = check_certificate(back.certificate, tiny_design)
+        assert report.ok, report.summary()
+        assert results_equal(result, back)
+
+    def test_degraded_result_keeps_provenance(self, small_design):
+        with injected(FaultSpec("deadline", target="@k2")):
+            result = analyze(small_design, 3, deadline_s=60.0)
+        assert result.degraded
+        back = _roundtrip(result)
+        assert back.degraded
+        assert back.degradation is not None
+        assert result.degradation is not None
+        assert back.degradation.reason == result.degradation.reason
+        assert back.degradation.to_json() == result.degradation.to_json()
+        assert results_equal(result, back)
+
+    def test_runtime_only_fields_do_not_break_equality(self, tiny_design):
+        a = analyze(tiny_design, 1)
+        payload = result_to_json(a)
+        # runtime_s is wall clock and deliberately outside the
+        # comparison; stamp something absurd to prove it.
+        payload["runtime_s"] = 999.0
+        assert results_equal(a, result_from_json(payload))
+
+    def test_version_mismatch_rejected(self, tiny_design):
+        payload = result_to_json(analyze(tiny_design, 1))
+        payload["version"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(Exception):
+            result_from_json(payload)
+
+    def test_results_equal_detects_difference(self, tiny_design):
+        a = analyze(tiny_design, 1)
+        b = analyze(tiny_design, 2)
+        assert not results_equal(a, b)
